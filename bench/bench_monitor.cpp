@@ -1,0 +1,70 @@
+// Runtime doom monitoring costs: one-off construction (product + two subset
+// constructions) vs per-step cost (two table lookups) — the trade the
+// monitor makes to be deployable on live traces — plus the BMC-style
+// shortest-doomed-prefix search.
+
+#include <benchmark/benchmark.h>
+
+#include "rlv/core/monitor.hpp"
+#include "rlv/fair/simulate.hpp"
+#include "rlv/gen/families.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/omega/limit.hpp"
+#include "rlv/petri/reachability.hpp"
+
+namespace {
+
+using namespace rlv;
+
+void BM_Monitor_Construction(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ReachabilityGraph graph =
+      build_reachability_graph(resource_server_net(n));
+  const Buchi behaviors = limit_of_prefix_closed(graph.system);
+  const Labeling lambda = Labeling::canonical(graph.system.alphabet());
+  const Formula f = parse_ltl("G F result_0");
+  for (auto _ : state) {
+    DoomMonitor monitor(behaviors, f, lambda);
+    benchmark::DoNotOptimize(monitor.verdict());
+  }
+  state.counters["states"] = static_cast<double>(graph.system.num_states());
+}
+BENCHMARK(BM_Monitor_Construction)
+    ->DenseRange(1, 3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Monitor_StepThroughput(benchmark::State& state) {
+  const ReachabilityGraph graph =
+      build_reachability_graph(resource_server_net(2));
+  const Buchi behaviors = limit_of_prefix_closed(graph.system);
+  const Labeling lambda = Labeling::canonical(graph.system.alphabet());
+  DoomMonitor monitor(behaviors, parse_ltl("G F result_0"), lambda);
+
+  SimulationOptions options;
+  options.steps = 4096;
+  const Word trace = simulate_fair_run(graph.system, options);
+
+  for (auto _ : state) {
+    monitor.reset();
+    for (const Symbol a : trace) {
+      benchmark::DoNotOptimize(monitor.step(a));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_Monitor_StepThroughput)->Unit(benchmark::kMicrosecond);
+
+void BM_Monitor_ShortestDoomSearch(benchmark::State& state) {
+  const Nfa fig3 = figure3_system();
+  const Buchi behaviors = limit_of_prefix_closed(fig3);
+  const Labeling lambda = Labeling::canonical(fig3.alphabet());
+  DoomMonitor monitor(behaviors, parse_ltl("G F result"), lambda);
+  for (auto _ : state) {
+    const auto doom = monitor.shortest_doomed_prefix();
+    benchmark::DoNotOptimize(doom);
+  }
+}
+BENCHMARK(BM_Monitor_ShortestDoomSearch)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

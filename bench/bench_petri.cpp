@@ -1,0 +1,77 @@
+// Experiment E15: Petri-net reachability-graph construction (the Figure 1 →
+// Figure 2 step) on the scalable families — the state-space generation cost
+// that the behavior-abstraction technique is designed to avoid paying for
+// every property.
+
+#include <benchmark/benchmark.h>
+
+#include "rlv/gen/families.hpp"
+#include "rlv/petri/reachability.hpp"
+
+namespace {
+
+using namespace rlv;
+
+void BM_Petri_ResourceServer(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const PetriNet net = resource_server_net(n);
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const ReachabilityGraph graph = build_reachability_graph(net);
+    states = graph.system.num_states();
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["graph_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Petri_ResourceServer)
+    ->DenseRange(1, 6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Petri_ProducerConsumer(benchmark::State& state) {
+  const std::size_t cap = static_cast<std::size_t>(state.range(0));
+  const PetriNet net = producer_consumer_net(cap);
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const ReachabilityGraph graph = build_reachability_graph(net);
+    states = graph.system.num_states();
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["graph_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Petri_ProducerConsumer)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Petri_DiningPhilosophers(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const PetriNet net = dining_philosophers_net(n);
+  std::size_t states = 0;
+  std::size_t deadlocks = 0;
+  for (auto _ : state) {
+    const ReachabilityGraph graph = build_reachability_graph(net);
+    states = graph.system.num_states();
+    deadlocks = graph.deadlocks.size();
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["graph_states"] = static_cast<double>(states);
+  state.counters["deadlocks"] = static_cast<double>(deadlocks);
+}
+BENCHMARK(BM_Petri_DiningPhilosophers)
+    ->DenseRange(2, 7)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Petri_Figure1(benchmark::State& state) {
+  const PetriNet net = figure1_net();
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const ReachabilityGraph graph = build_reachability_graph(net);
+    states = graph.system.num_states();
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["graph_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Petri_Figure1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

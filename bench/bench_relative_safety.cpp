@@ -1,0 +1,41 @@
+// Experiment E4 (Theorem 4.5), safety side: cost of the relative safety
+// decision (Lemma 4.4: determinize the prefix automaton of L ∩ P, intersect
+// with ¬P, emptiness) on the scalable server family, for a safety-flavored
+// and a liveness-flavored property.
+
+#include <benchmark/benchmark.h>
+
+#include "rlv/core/relative.hpp"
+#include "rlv/gen/families.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/omega/limit.hpp"
+#include "rlv/petri/reachability.hpp"
+
+namespace {
+
+using namespace rlv;
+
+void BM_RelativeSafety_ResourceServer(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool liveness_flavor = state.range(1) != 0;
+  const ReachabilityGraph graph =
+      build_reachability_graph(resource_server_net(n));
+  const Buchi system = limit_of_prefix_closed(graph.system);
+  const Labeling lambda = Labeling::canonical(graph.system.alphabet());
+  const Formula f = liveness_flavor ? parse_ltl("G F result_0")
+                                    : parse_ltl("G !yes_0");
+
+  bool holds = false;
+  for (auto _ : state) {
+    holds = relative_safety(system, f, lambda).holds;
+    benchmark::DoNotOptimize(holds);
+  }
+  state.counters["states"] = static_cast<double>(graph.system.num_states());
+  state.counters["holds"] = holds ? 1 : 0;
+}
+BENCHMARK(BM_RelativeSafety_ResourceServer)
+    ->ArgsProduct({{1, 2, 3}, {0, 1}})
+    ->ArgNames({"clients", "liveness_flavor"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

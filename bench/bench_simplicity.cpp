@@ -1,0 +1,60 @@
+// Experiment E14: deciding simplicity of an abstracting homomorphism
+// (Definition 6.3) — the certification step that makes the Theorem 8.2
+// transfer sound. Measured on the paper's systems and the scalable server.
+
+#include <benchmark/benchmark.h>
+
+#include "rlv/gen/families.hpp"
+#include "rlv/hom/simplicity.hpp"
+#include "rlv/petri/reachability.hpp"
+
+namespace {
+
+using namespace rlv;
+
+void BM_Simplicity_Figure2(benchmark::State& state) {
+  const Nfa fig2 = figure2_system();
+  const Homomorphism h = paper_abstraction(fig2.alphabet());
+  bool simple = false;
+  for (auto _ : state) {
+    simple = check_simplicity(fig2, h).simple;
+    benchmark::DoNotOptimize(simple);
+  }
+  state.counters["simple"] = simple ? 1 : 0;
+}
+BENCHMARK(BM_Simplicity_Figure2)->Unit(benchmark::kMicrosecond);
+
+void BM_Simplicity_Figure3(benchmark::State& state) {
+  const Nfa fig3 = figure3_system();
+  const Homomorphism h = paper_abstraction(fig3.alphabet());
+  bool simple = true;
+  for (auto _ : state) {
+    simple = check_simplicity(fig3, h).simple;
+    benchmark::DoNotOptimize(simple);
+  }
+  state.counters["simple"] = simple ? 1 : 0;
+}
+BENCHMARK(BM_Simplicity_Figure3)->Unit(benchmark::kMicrosecond);
+
+void BM_Simplicity_ResourceServer(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ReachabilityGraph graph =
+      build_reachability_graph(resource_server_net(n));
+  const Homomorphism h = resource_server_abstraction(graph.system.alphabet());
+  bool simple = false;
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    const SimplicityResult res = check_simplicity(graph.system, h);
+    simple = res.simple;
+    pairs = res.pairs_checked;
+    benchmark::DoNotOptimize(simple);
+  }
+  state.counters["states"] = static_cast<double>(graph.system.num_states());
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["simple"] = simple ? 1 : 0;
+}
+BENCHMARK(BM_Simplicity_ResourceServer)
+    ->DenseRange(1, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

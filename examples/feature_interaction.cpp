@@ -1,0 +1,123 @@
+// Feature-interaction detection in an intelligent telephone network — the
+// application domain the paper cites ([6], Capellmann et al., CAV'96:
+// "Verification by behavior abstraction: a case study of service
+// interaction detection in intelligent telephone networks").
+//
+// Two features are installed for subscriber B: Call Forwarding on busy
+// (CF: divert to subscriber C) and Voice Mail (VM: record a message). When
+// B is busy, both features want the same call — a classical undesired
+// feature interaction. We hide the network-internal actions with an
+// abstracting homomorphism, certify it simple, and detect the interaction
+// on the small abstract system: both ◇forward and ◇voicemail are relative
+// liveness properties after a dial, i.e. both features can win the race.
+// A precedence fix (CF before VM) removes the ambiguity.
+
+#include <cstdio>
+
+#include "rlv/core/preservation.hpp"
+#include "rlv/core/relative.hpp"
+#include "rlv/hom/image.hpp"
+#include "rlv/hom/simplicity.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/ltl/pnf.hpp"
+#include "rlv/omega/limit.hpp"
+
+namespace {
+
+using namespace rlv;
+
+/// The telephone system. `cf_precedence` = the fixed configuration where
+/// call forwarding takes priority over voice mail on busy.
+Nfa phone_system(bool cf_precedence) {
+  auto sigma =
+      Alphabet::make({"dial", "b_free", "b_busy", "connect", "cf_trigger",
+                      "forward", "vm_trigger", "voicemail", "hangup",
+                      "toggle_busy"});
+  Nfa nfa(sigma);
+  enum : State {
+    kIdleFree = 0,   // B on-hook
+    kIdleBusy,       // B in another call
+    kRingingB,       // A dialed, B free
+    kBusyDecision,   // A dialed, B busy: features race
+    kInCallB,        // A talking to B
+    kCfTriggered,    // CF claimed the call
+    kRingingC,       // forwarded, C ringing
+    kInCallC,        // A talking to C
+    kVmTriggered,    // VM claimed the call
+    kRecording,      // A recording a message
+    kStateCount
+  };
+  for (State s = 0; s < kStateCount; ++s) nfa.add_state(true);
+
+  nfa.add_transition(kIdleFree, sigma->id("toggle_busy"), kIdleBusy);
+  nfa.add_transition(kIdleBusy, sigma->id("toggle_busy"), kIdleFree);
+
+  nfa.add_transition(kIdleFree, sigma->id("dial"), kRingingB);
+  nfa.add_transition(kRingingB, sigma->id("b_free"), kInCallB);
+  nfa.add_transition(kInCallB, sigma->id("connect"), kInCallB);
+  nfa.add_transition(kInCallB, sigma->id("hangup"), kIdleFree);
+
+  nfa.add_transition(kIdleBusy, sigma->id("dial"), kBusyDecision);
+  nfa.add_transition(kBusyDecision, sigma->id("b_busy"), kBusyDecision);
+  nfa.add_transition(kBusyDecision, sigma->id("cf_trigger"), kCfTriggered);
+  if (!cf_precedence) {
+    // Without precedence both features race for the call.
+    nfa.add_transition(kBusyDecision, sigma->id("vm_trigger"), kVmTriggered);
+  }
+  nfa.add_transition(kCfTriggered, sigma->id("forward"), kRingingC);
+  nfa.add_transition(kRingingC, sigma->id("connect"), kInCallC);
+  nfa.add_transition(kInCallC, sigma->id("hangup"), kIdleBusy);
+
+  nfa.add_transition(kVmTriggered, sigma->id("voicemail"), kRecording);
+  nfa.add_transition(kRecording, sigma->id("hangup"), kIdleBusy);
+
+  nfa.set_initial(kIdleFree);
+  return nfa;
+}
+
+void analyze(const char* name, const Nfa& system) {
+  std::printf("=== %s ===\n", name);
+  const Homomorphism h = Homomorphism::projection(
+      system.alphabet(), {"dial", "connect", "forward", "voicemail"});
+
+  const Nfa abstract = image_nfa(system, h);
+  std::printf("concrete states: %zu, abstract states: %zu\n",
+              system.num_states(), abstract.num_states());
+
+  const SimplicityResult simple = check_simplicity(system, h);
+  std::printf("abstraction simple: %s\n", simple.simple ? "yes" : "no");
+
+  const Buchi abstract_behaviors = limit_of_prefix_closed(abstract);
+  const Labeling lambda = Labeling::canonical(h.target());
+
+  // Liveness of service: every dial is eventually answered some way.
+  const Formula answered =
+      parse_ltl("G(dial -> F(connect || forward || voicemail))");
+  std::printf("G(dial -> F answered) relative liveness (abstract): %s\n",
+              relative_liveness(abstract_behaviors, answered, lambda).holds
+                  ? "yes"
+                  : "no");
+
+  // Interaction probe: can each feature still win a call?
+  const Formula cf_wins = parse_ltl("F forward");
+  const Formula vm_wins = parse_ltl("F voicemail");
+  const bool cf = relative_liveness(abstract_behaviors, cf_wins, lambda).holds;
+  const bool vm = relative_liveness(abstract_behaviors, vm_wins, lambda).holds;
+  std::printf("call forwarding can claim a call: %s\n", cf ? "yes" : "no");
+  std::printf("voice mail can claim a call:      %s\n", vm ? "yes" : "no");
+  if (cf && vm) {
+    std::printf("--> FEATURE INTERACTION: both features compete for the "
+                "busy-call\n");
+  } else {
+    std::printf("--> no interaction: feature resolution is deterministic\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  analyze("CF + VM, no precedence (interacting)", phone_system(false));
+  analyze("CF before VM (fixed)", phone_system(true));
+  return 0;
+}

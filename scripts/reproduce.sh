@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Reproduces everything: build, test suite, all benchmarks, figure
+# regeneration, and the example programs. Outputs land in the repo root
+# (test_output.txt, bench_output.txt, figures/) mirroring EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build 2>&1 | tee test_output.txt | tail -3
+
+echo "== benchmarks =="
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt | grep -c '^BM_' || true
+
+echo "== figures =="
+mkdir -p figures
+build/tools/rlv_figures figures
+
+echo "== examples =="
+for e in quickstart server_petri fair_implementation feature_interaction \
+         doom_monitor alternating_bit mutual_exclusion; do
+  echo "--- $e"
+  "build/examples/$e"
+done
+build/examples/abstraction_pipeline 3
+
+echo "done."

@@ -1,0 +1,86 @@
+#include "rlv/comp/sync.hpp"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+namespace rlv {
+
+DynBitset participation(const AlphabetRef& sigma,
+                        const std::vector<std::string>& actions) {
+  DynBitset bits(sigma->size());
+  for (const auto& action : actions) {
+    bits.set(sigma->id(action));
+  }
+  return bits;
+}
+
+Nfa sync_product(const std::vector<Component>& components) {
+  assert(!components.empty());
+  const AlphabetRef sigma = components.front().automaton.alphabet();
+  const std::size_t k = components.size();
+  for ([[maybe_unused]] const Component& c : components) {
+    assert(c.automaton.alphabet() == sigma);
+    assert(c.automaton.initial().size() == 1 &&
+           "sync_product expects deterministic initial configurations");
+  }
+
+  using Config = std::vector<State>;
+  Nfa product(sigma);
+  std::map<Config, State> ids;
+  std::vector<Config> worklist;
+
+  auto intern = [&](const Config& config) -> State {
+    auto [it, inserted] = ids.emplace(config, kNoState);
+    if (inserted) {
+      it->second = product.add_state(true);
+      worklist.push_back(config);
+    }
+    return it->second;
+  };
+
+  Config initial(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    initial[i] = components[i].automaton.initial().front();
+  }
+  product.set_initial(intern(initial));
+
+  // Successor exploration: for each symbol, the participating components
+  // each contribute their successor sets; the non-participating stay put.
+  std::vector<std::vector<State>> succs(k);
+  while (!worklist.empty()) {
+    const Config config = worklist.back();
+    worklist.pop_back();
+    const State from = ids.at(config);
+
+    for (Symbol a = 0; a < sigma->size(); ++a) {
+      bool enabled = true;
+      for (std::size_t i = 0; i < k && enabled; ++i) {
+        if (!components[i].participates.test(a)) {
+          succs[i] = {config[i]};
+          continue;
+        }
+        succs[i] = components[i].automaton.successors(config[i], a);
+        enabled = !succs[i].empty();
+      }
+      if (!enabled) continue;
+
+      // Cross product of per-component successors (odometer).
+      std::vector<std::size_t> index(k, 0);
+      while (true) {
+        Config next(k);
+        for (std::size_t i = 0; i < k; ++i) next[i] = succs[i][index[i]];
+        product.add_transition(from, a, intern(next));
+        std::size_t i = 0;
+        for (; i < k; ++i) {
+          if (++index[i] < succs[i].size()) break;
+          index[i] = 0;
+        }
+        if (i == k) break;
+      }
+    }
+  }
+  return product;
+}
+
+}  // namespace rlv

@@ -1,0 +1,36 @@
+#pragma once
+
+// Synchronized composition of transition-system components — the setting of
+// the paper's compositional-analysis remark (§9, citing Ochsenschläger's
+// product-net machine [22]). Components share one alphabet; each declares
+// the actions it *participates* in. An action is enabled in a configuration
+// when every participating component can take it; it moves exactly those
+// components.
+
+#include <vector>
+
+#include "rlv/lang/nfa.hpp"
+#include "rlv/util/bitset.hpp"
+
+namespace rlv {
+
+struct Component {
+  /// The component's local transition system (all states accepting).
+  Nfa automaton;
+  /// Per shared-alphabet symbol: does this component synchronize on it?
+  /// Symbols a component does not participate in leave it in place.
+  DynBitset participates;
+};
+
+/// Explicit synchronized product, reachable part only: a prefix-closed
+/// all-accepting transition system over the shared alphabet. All components
+/// must use the same alphabet object; each must have exactly one initial
+/// state.
+[[nodiscard]] Nfa sync_product(const std::vector<Component>& components);
+
+/// Convenience: a participation bitset over `sigma` with the named actions
+/// set.
+[[nodiscard]] DynBitset participation(
+    const AlphabetRef& sigma, const std::vector<std::string>& actions);
+
+}  // namespace rlv

@@ -1,0 +1,45 @@
+#pragma once
+
+// Constructive counterpart of Theorem 4.7. Alpern–Schneider decompose any
+// property into a safety and a liveness part; the paper relativizes the
+// statement: L_ω ⊆ P iff P is both a relative safety and a relative
+// liveness property of L_ω. This module computes the decomposition
+// *witnesses* inside the universe L_ω:
+//
+//   safety part    S  =  L_ω ∩ lim(pre(L_ω ∩ P))      (the relative safety
+//                        closure of P in L_ω — the smallest relative safety
+//                        property of L_ω containing L_ω ∩ P)
+//   liveness part  Li =  P ∪ (Σ^ω \ S)
+//
+// with the guarantees (validated by tests/test_decomposition.cpp):
+//   * S  is a relative safety property of L_ω,
+//   * Li is a relative liveness property of L_ω,
+//   * L_ω ∩ P = L_ω ∩ S ∩ Li.
+
+#include "rlv/ltl/ast.hpp"
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv {
+
+struct RelativeDecomposition {
+  /// Büchi automaton for the safety part S ⊆ Σ^ω.
+  Buchi safety_part;
+  /// Büchi automaton for the liveness part Li ⊆ Σ^ω.
+  Buchi liveness_part;
+};
+
+/// Decomposes the property L_ω(property) relative to L_ω(system). Uses
+/// rank-based complementation for the liveness part; sizes grow quickly, so
+/// intended for moderate inputs.
+[[nodiscard]] RelativeDecomposition relative_decomposition(
+    const Buchi& system, const Buchi& property);
+
+/// Formula flavor: complements come from translating ¬f — much smaller.
+[[nodiscard]] RelativeDecomposition relative_decomposition(
+    const Buchi& system, Formula f, const Labeling& lambda);
+
+/// The relative safety closure alone: L_ω ∩ lim(pre(L_ω ∩ P)).
+[[nodiscard]] Buchi relative_safety_closure(const Buchi& system,
+                                            const Buchi& property);
+
+}  // namespace rlv

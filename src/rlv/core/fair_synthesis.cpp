@@ -1,0 +1,38 @@
+#include "rlv/core/fair_synthesis.hpp"
+
+#include "rlv/lang/inclusion.hpp"
+#include "rlv/ltl/translate.hpp"
+#include "rlv/omega/live.hpp"
+#include "rlv/omega/product.hpp"
+
+namespace rlv {
+
+FairImplementation synthesize_fair_implementation(const Buchi& system,
+                                                  const Buchi& property) {
+  // Reduced automaton for L_ω ∩ P: trim to reachable live states.
+  Buchi reduced = trim_omega(intersect_buchi(system, property));
+
+  // Erase the acceptance condition: all states accepting.
+  Buchi erased(reduced.alphabet());
+  for (State s = 0; s < reduced.num_states(); ++s) erased.add_state(true);
+  for (State s = 0; s < reduced.num_states(); ++s) {
+    for (const auto& t : reduced.out(s)) {
+      erased.add_transition(s, t.symbol, t.target);
+    }
+  }
+  for (const State s : reduced.initial()) erased.set_initial(s);
+
+  return {std::move(erased), std::move(reduced)};
+}
+
+FairImplementation synthesize_fair_implementation(const Buchi& system,
+                                                  Formula f,
+                                                  const Labeling& lambda) {
+  return synthesize_fair_implementation(system, translate_ltl(f, lambda));
+}
+
+bool same_limit_closed_language(const Buchi& a, const Buchi& b) {
+  return nfa_equivalent(prefix_nfa(a), prefix_nfa(b));
+}
+
+}  // namespace rlv

@@ -1,0 +1,44 @@
+#pragma once
+
+// Theorem 5.1: if P is a relative liveness property of a limit-closed
+// finite-state behavior set L_ω, then there is a finite-state system A with
+// language L_ω all of whose strongly fair computations satisfy P. The
+// construction is the proof's: take a reduced Büchi automaton for L_ω ∩ P
+// and erase its acceptance condition.
+//
+// The synthesized system may carry more state than the original (the
+// Section 5 example: {a,b}^ω and ◇(a ∧ Xa) — fairness alone on the minimal
+// automaton does not suffice; the product adds the required memory).
+
+#include "rlv/ltl/ast.hpp"
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv {
+
+struct FairImplementation {
+  /// The synthesized system: a transition system without acceptance
+  /// condition, represented as an all-accepting Büchi automaton. Its
+  /// ω-language equals the input system's; under strong transition
+  /// fairness all its runs satisfy the property.
+  Buchi system;
+  /// Reduced Büchi automaton for L_ω ∩ P that the system was derived from
+  /// (its acceptance states are the ones fairness forces runs through).
+  Buchi reduced_intersection;
+};
+
+/// Synthesizes the Theorem 5.1 implementation. `system` must be limit
+/// closed (e.g. all-accepting and trimmed — a transition system); the
+/// property must be relative liveness of it for the guarantee to hold
+/// (callers check via relative_liveness()).
+[[nodiscard]] FairImplementation synthesize_fair_implementation(
+    const Buchi& system, const Buchi& property);
+
+[[nodiscard]] FairImplementation synthesize_fair_implementation(
+    const Buchi& system, Formula f, const Labeling& lambda);
+
+/// Validates that the synthesized system has the same ω-language as the
+/// original. Both must be limit-closed all-accepting systems, for which
+/// ω-language equality reduces to prefix-language equality.
+[[nodiscard]] bool same_limit_closed_language(const Buchi& a, const Buchi& b);
+
+}  // namespace rlv

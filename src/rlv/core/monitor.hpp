@@ -1,0 +1,83 @@
+#pragma once
+
+// Runtime doom monitoring — the operational face of relative liveness.
+//
+// P is a relative liveness property of L_ω exactly when *no* finite
+// behavior is doomed: every prefix can still be extended inside the system
+// to satisfy P (Definition 4.1). When P is NOT relative liveness, some
+// reachable prefixes are doomed, and detecting the first doomed step at
+// runtime is precisely the "shift from liveness to safety" the paper traces
+// to Henzinger's "Sooner is safer than later" [12]: within the system,
+// "P can still hold" is a safety property whose violation has a finite
+// witness.
+//
+// The monitor precomputes the DFA of pre(L_ω ∩ P) ∪-split from pre(L_ω) and
+// then follows a trace letter by letter in O(1) per step, reporting:
+//
+//   kSatisfiable  — some continuation of the trace satisfies P,
+//   kDoomed       — the trace is a system behavior, but no continuation
+//                   satisfies P (dooms are permanent),
+//   kLeftSystem   — the trace is not a behavior of the system at all.
+
+#include <cstdint>
+#include <optional>
+
+#include "rlv/lang/dfa.hpp"
+#include "rlv/ltl/ast.hpp"
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv {
+
+enum class MonitorVerdict : std::uint8_t {
+  kSatisfiable,
+  kDoomed,
+  kLeftSystem,
+};
+
+class DoomMonitor {
+ public:
+  /// Builds a monitor for the given system and property (automaton or
+  /// formula flavor). Construction cost is a product + two subset
+  /// constructions; stepping is a table lookup.
+  DoomMonitor(const Buchi& system, const Buchi& property);
+  DoomMonitor(const Buchi& system, Formula f, const Labeling& lambda);
+
+  /// Consumes one observed action; returns the verdict after it. Verdicts
+  /// only escalate: kSatisfiable -> kDoomed -> kLeftSystem is monotone in
+  /// the sense that kDoomed and kLeftSystem are absorbing.
+  MonitorVerdict step(Symbol a);
+
+  /// Verdict for the trace consumed so far (kSatisfiable initially, unless
+  /// the system itself is empty).
+  [[nodiscard]] MonitorVerdict verdict() const { return verdict_; }
+
+  /// Number of symbols consumed.
+  [[nodiscard]] std::size_t position() const { return position_; }
+
+  /// Resets to the empty trace.
+  void reset();
+
+  /// Convenience: runs a whole word, returning the final verdict (and, via
+  /// `first_doom`, the 0-based index of the step where doom struck, or the
+  /// word length if never).
+  MonitorVerdict run(const Word& trace, std::size_t* first_doom = nullptr);
+
+  /// The shortest system behavior that is doomed (no continuation inside
+  /// the system satisfies the property), or nullopt when none exists —
+  /// which is exactly when the property is relative liveness (Def 4.1).
+  /// BFS over the product of the two monitor DFAs; the result is globally
+  /// minimal in length.
+  [[nodiscard]] std::optional<Word> shortest_doomed_prefix() const;
+
+ private:
+  void init();
+
+  Dfa satisfiable_;  // DFA of pre(L_ω ∩ P): "still winnable" states
+  Dfa system_pre_;   // DFA of pre(L_ω): "still a behavior" states
+  State sat_state_ = kNoState;
+  State sys_state_ = kNoState;
+  MonitorVerdict verdict_ = MonitorVerdict::kSatisfiable;
+  std::size_t position_ = 0;
+};
+
+}  // namespace rlv

@@ -1,0 +1,77 @@
+#pragma once
+
+// The abstraction-based verification pipeline of Sections 6–8:
+//
+//   1. Compute the abstract behavior lim(h(L)) of a transition system with
+//      prefix-closed behavior language L (Definition 6.2).
+//   2. Check that the abstract formula η is a relative liveness property of
+//      lim(h(L)).
+//   3. Decide simplicity of h on L (Definition 6.3).
+//   4. If simple (and h(L) has no maximal words), conclude — by Theorem 8.2
+//      — that R̄(η) is a relative liveness property of lim(L), without ever
+//      model checking the concrete system.
+//
+// verify_via_abstraction() runs the pipeline and, on request, additionally
+// computes the concrete verdict directly so tests can confirm Theorems 8.2
+// (simple: transfer is sound), 8.3 (converse always holds), and the Figure-3
+// caveat (non-simple: transfer may be wrong).
+
+#include <optional>
+
+#include "rlv/hom/homomorphism.hpp"
+#include "rlv/hom/simplicity.hpp"
+#include "rlv/lang/nfa.hpp"
+#include "rlv/ltl/ast.hpp"
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv {
+
+/// λ_hΣΣ' (Definition 7.3): each concrete letter a carries the single
+/// proposition named after h(a), or the ε-proposition (kEpsilonAtom) when a
+/// is hidden. Target letter names must not collide with kEpsilonAtom.
+[[nodiscard]] Labeling hom_labeling(const Homomorphism& h);
+
+/// Does L(nfa) contain maximal words (words that no other word of L
+/// properly extends)? Theorems 8.2/8.3 require h(L) without maximal words;
+/// extend_maximal_words() (hom/image.hpp) repairs violations.
+[[nodiscard]] bool has_maximal_words(const Nfa& nfa);
+
+struct AbstractionVerdict {
+  /// lim(h(L)) ⊨_RL η — the cheap abstract check.
+  bool abstract_holds = false;
+  /// Simplicity of h on L (Definition 6.3).
+  SimplicityResult simplicity;
+  /// h(L) free of maximal words (side condition of Theorem 8.2).
+  bool image_has_maximal_words = false;
+  /// The transferred formula R̄(η) interpreted under λ_hΣΣ'.
+  Formula transformed;
+  /// Sound conclusion about the concrete system: set only when the
+  /// abstract check passed, h is simple, and h(L) has no maximal words
+  /// (Theorem 8.2) — or when the abstract check failed, which by Theorem
+  /// 8.3 refutes the concrete property as well.
+  std::optional<bool> concrete_holds;
+
+  /// Size bookkeeping for the abstraction-pays-off experiments (E10).
+  std::size_t concrete_states = 0;
+  std::size_t abstract_states = 0;
+};
+
+/// Runs the pipeline on a transition system given as an all-accepting,
+/// prefix-closed automaton over h.source(). η must be in positive normal
+/// form with atoms among h.target() names.
+[[nodiscard]] AbstractionVerdict verify_via_abstraction(const Nfa& system,
+                                                        const Homomorphism& h,
+                                                        Formula eta);
+
+/// The direct concrete check the pipeline avoids: lim(L) ⊨_RL R̄(η) under
+/// λ_hΣΣ'. Used by tests to validate Theorems 8.2/8.3 experimentally.
+[[nodiscard]] bool concrete_relative_liveness(const Nfa& system,
+                                              const Homomorphism& h,
+                                              Formula eta);
+
+/// The abstract check alone: lim(h(L)) ⊨_RL η under λ_Σ'.
+[[nodiscard]] bool abstract_relative_liveness(const Nfa& system,
+                                              const Homomorphism& h,
+                                              Formula eta);
+
+}  // namespace rlv

@@ -1,0 +1,81 @@
+#include "rlv/core/relative.hpp"
+
+#include "rlv/ltl/pnf.hpp"
+#include "rlv/ltl/translate.hpp"
+#include "rlv/omega/complement.hpp"
+#include "rlv/omega/limit.hpp"
+#include "rlv/omega/live.hpp"
+#include "rlv/omega/product.hpp"
+
+namespace rlv {
+
+namespace {
+
+RelativeLivenessResult liveness_via_intersection(const Buchi& system,
+                                                 const Buchi& intersection,
+                                                 InclusionAlgorithm algorithm) {
+  // Lemma 4.3: pre(L_ω) ⊆ pre(L_ω ∩ P); the reverse inclusion is automatic.
+  const Nfa pre_system = prefix_nfa(system);
+  const Nfa pre_both = prefix_nfa(intersection);
+  const InclusionResult inc = check_inclusion(pre_system, pre_both, algorithm);
+  RelativeLivenessResult result;
+  result.holds = inc.included;
+  result.violating_prefix = inc.counterexample;
+  return result;
+}
+
+RelativeSafetyResult safety_via_negation(const Buchi& system,
+                                         const Buchi& intersection,
+                                         const Buchi& negated_property) {
+  // Lemma 4.4: L_ω ∩ lim(pre(L_ω ∩ P)) ∩ ¬P = ∅.
+  const Buchi closure = limit_of_prefix_closed(prefix_nfa(intersection));
+  const Buchi bad =
+      intersect_buchi(intersect_buchi(system, closure), negated_property);
+  RelativeSafetyResult result;
+  auto lasso = find_accepting_lasso(bad);
+  result.holds = !lasso.has_value();
+  result.counterexample = std::move(lasso);
+  return result;
+}
+
+}  // namespace
+
+RelativeLivenessResult relative_liveness(const Buchi& system,
+                                         const Buchi& property,
+                                         InclusionAlgorithm algorithm) {
+  return liveness_via_intersection(system, intersect_buchi(system, property),
+                                   algorithm);
+}
+
+RelativeLivenessResult relative_liveness(const Buchi& system, Formula f,
+                                         const Labeling& lambda,
+                                         InclusionAlgorithm algorithm) {
+  const Buchi property = translate_ltl(f, lambda);
+  return liveness_via_intersection(system, intersect_buchi(system, property),
+                                   algorithm);
+}
+
+RelativeSafetyResult relative_safety(const Buchi& system,
+                                     const Buchi& property) {
+  return safety_via_negation(system, intersect_buchi(system, property),
+                             complement_buchi(property));
+}
+
+RelativeSafetyResult relative_safety(const Buchi& system, Formula f,
+                                     const Labeling& lambda) {
+  const Buchi property = translate_ltl(f, lambda);
+  const Buchi negated = translate_ltl_negated(f, lambda);
+  return safety_via_negation(system, intersect_buchi(system, property),
+                             negated);
+}
+
+bool satisfies(const Buchi& system, const Buchi& property) {
+  return omega_empty(intersect_buchi(system, complement_buchi(property)));
+}
+
+bool satisfies(const Buchi& system, Formula f, const Labeling& lambda) {
+  return omega_empty(
+      intersect_buchi(system, translate_ltl_negated(f, lambda)));
+}
+
+}  // namespace rlv

@@ -1,0 +1,65 @@
+#pragma once
+
+// Relative liveness and relative safety (Definitions 4.1/4.2), decided via
+// the automata-theoretic characterizations of Lemmas 4.3/4.4:
+//
+//   P relative liveness of L_ω   ⟺   pre(L_ω) = pre(L_ω ∩ P)
+//   P relative safety  of L_ω   ⟺   L_ω ∩ lim(pre(L_ω ∩ P)) ⊆ P
+//
+// pre(·) of a Büchi automaton is an NFA (live-state trimming); the liveness
+// check is an NFA inclusion (only ⊆ needs checking — ⊇ always holds); the
+// safety check is a Büchi emptiness after intersecting with ¬P. Properties
+// can be given as Büchi automata or as PLTL formulas (Theorem 4.5 covers
+// both); the formula route avoids Büchi complementation.
+//
+// Also provides classical satisfaction L_ω ⊆ P and the Theorem 4.7
+// decomposition (satisfaction ⟺ relative liveness ∧ relative safety).
+
+#include <optional>
+
+#include "rlv/lang/inclusion.hpp"
+#include "rlv/ltl/ast.hpp"
+#include "rlv/omega/buchi.hpp"
+#include "rlv/omega/emptiness.hpp"
+
+namespace rlv {
+
+struct RelativeLivenessResult {
+  bool holds = false;
+  /// When violated: a prefix w ∈ pre(L_ω) with no continuation into P.
+  std::optional<Word> violating_prefix;
+};
+
+struct RelativeSafetyResult {
+  bool holds = false;
+  /// When violated: a behavior x ∈ L_ω with x ∉ P all of whose prefixes can
+  /// still be extended into L_ω ∩ P.
+  std::optional<Lasso> counterexample;
+};
+
+/// Is L_ω(property) a relative liveness property of L_ω(system)? (Def 4.1)
+[[nodiscard]] RelativeLivenessResult relative_liveness(
+    const Buchi& system, const Buchi& property,
+    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain);
+
+/// Formula flavor: the property is { x | x,λ ⊨ f }.
+[[nodiscard]] RelativeLivenessResult relative_liveness(
+    const Buchi& system, Formula f, const Labeling& lambda,
+    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain);
+
+/// Is L_ω(property) a relative safety property of L_ω(system)? (Def 4.2)
+/// The automaton flavor complements `property` with the rank-based
+/// construction — exponential; prefer the formula flavor when possible.
+[[nodiscard]] RelativeSafetyResult relative_safety(const Buchi& system,
+                                                   const Buchi& property);
+
+[[nodiscard]] RelativeSafetyResult relative_safety(const Buchi& system,
+                                                   Formula f,
+                                                   const Labeling& lambda);
+
+/// Classical satisfaction L_ω(system) ⊆ P (Definition 3.2).
+[[nodiscard]] bool satisfies(const Buchi& system, const Buchi& property);
+[[nodiscard]] bool satisfies(const Buchi& system, Formula f,
+                             const Labeling& lambda);
+
+}  // namespace rlv

@@ -1,0 +1,65 @@
+#include "rlv/core/topology.hpp"
+
+#include <numeric>
+
+#include "rlv/lang/ops.hpp"
+#include "rlv/lang/quotient.hpp"
+#include "rlv/omega/live.hpp"
+#include "rlv/omega/product.hpp"
+
+namespace rlv {
+
+namespace {
+
+Symbol letter_at(const Lasso& x, std::size_t i) {
+  if (i < x.prefix.size()) return x.prefix[i];
+  return x.period[(i - x.prefix.size()) % x.period.size()];
+}
+
+}  // namespace
+
+std::optional<std::size_t> common_prefix_length(const Lasso& x,
+                                                const Lasso& y) {
+  // Two ultimately periodic words that agree on max(|u1|,|u2|) +
+  // lcm(|v1|,|v2|) letters are equal.
+  const std::size_t lcm = std::lcm(x.period.size(), y.period.size());
+  const std::size_t bound =
+      std::max(x.prefix.size(), y.prefix.size()) + lcm;
+  for (std::size_t i = 0; i < bound; ++i) {
+    if (letter_at(x, i) != letter_at(y, i)) return i;
+  }
+  return std::nullopt;  // equal words
+}
+
+double cantor_distance(const Lasso& x, const Lasso& y) {
+  const auto common = common_prefix_length(x, y);
+  if (!common) return 0.0;
+  return 1.0 / (static_cast<double>(*common) + 1.0);
+}
+
+bool is_dense_in(const Buchi& property, const Buchi& system) {
+  return relative_liveness(system, property).holds;
+}
+
+bool is_closed_in(const Buchi& property, const Buchi& system) {
+  return relative_safety(system, property).holds;
+}
+
+bool relative_liveness_by_definition(const Buchi& system,
+                                     const Buchi& property,
+                                     std::size_t max_prefix_len) {
+  // Enumerate pre(L_ω) up to the given length and check Definition 4.1:
+  // every prefix extends, within L_ω, to a word of P.
+  const Nfa pre = prefix_nfa(system);
+  const Buchi both = intersect_buchi(system, property);
+  for (const Word& w : enumerate_words(pre, max_prefix_len)) {
+    // ∃x ∈ cont(w, L_ω): wx ∈ P  ⟺  the product automaton accepts some
+    // ω-word after reading w.
+    const Nfa advanced = left_quotient(both.structure(), w);
+    const Buchi advanced_buchi = Buchi::from_structure(advanced);
+    if (omega_empty(advanced_buchi)) return false;
+  }
+  return true;
+}
+
+}  // namespace rlv

@@ -1,0 +1,43 @@
+#pragma once
+
+// The Cantor-topology view of Section 4 (Definitions 4.8–4.10): the metric
+// d(x,y) = 1/(|common(x,y)|+1) on Σ^ω, under which
+//
+//   P relative liveness of L_ω  ⟺  L_ω ∩ P dense  in L_ω   (Lemma 4.9)
+//   P relative safety  of L_ω  ⟺  L_ω ∩ P closed in L_ω   (Lemma 4.10)
+//
+// The metric is computable exactly on ultimately periodic words; the
+// density/closedness predicates are the relative liveness/safety deciders
+// under topological names, plus a definition-level probe used by tests to
+// cross-validate Lemma 4.3/4.4 against Definitions 4.1/4.2.
+
+#include "rlv/core/relative.hpp"
+#include "rlv/omega/buchi.hpp"
+#include "rlv/omega/emptiness.hpp"
+
+namespace rlv {
+
+/// Length of the longest common prefix of u1·v1^ω and u2·v2^ω, or nullopt
+/// when the words are equal (infinite common prefix).
+[[nodiscard]] std::optional<std::size_t> common_prefix_length(const Lasso& x,
+                                                              const Lasso& y);
+
+/// Cantor metric d(x, y) = 1/(|common(x,y)|+1); 0 when equal (Def 4.8).
+[[nodiscard]] double cantor_distance(const Lasso& x, const Lasso& y);
+
+/// Lemma 4.9: L_ω(system) ∩ L_ω(property) dense in L_ω(system).
+[[nodiscard]] bool is_dense_in(const Buchi& property, const Buchi& system);
+
+/// Lemma 4.10: L_ω(system) ∩ L_ω(property) closed in L_ω(system).
+/// (Automaton flavor: uses rank-based complementation.)
+[[nodiscard]] bool is_closed_in(const Buchi& property, const Buchi& system);
+
+/// Definition-level relative liveness probe: enumerates all prefixes
+/// w ∈ pre(L_ω) up to `max_prefix_len` and tests, via left quotients and
+/// Büchi emptiness, that some continuation of w inside L_ω satisfies P.
+/// Exponential in the prefix length; a ground-truth oracle for tests.
+[[nodiscard]] bool relative_liveness_by_definition(const Buchi& system,
+                                                   const Buchi& property,
+                                                   std::size_t max_prefix_len);
+
+}  // namespace rlv

@@ -1,0 +1,481 @@
+#include "rlv/ctl/ctl.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "rlv/util/hash.hpp"
+
+namespace rlv {
+
+class CtlNode {
+ public:
+  CtlOp op;
+  std::string action;
+  const CtlNode* left = nullptr;
+  const CtlNode* right = nullptr;
+};
+
+namespace {
+
+struct Key {
+  CtlOp op;
+  std::string action;
+  const CtlNode* left;
+  const CtlNode* right;
+  friend bool operator==(const Key&, const Key&) = default;
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    std::size_t h = static_cast<std::size_t>(k.op);
+    h = hash_combine(h, std::hash<std::string>{}(k.action));
+    h = hash_combine(h, std::hash<const CtlNode*>{}(k.left));
+    h = hash_combine(h, std::hash<const CtlNode*>{}(k.right));
+    return h;
+  }
+};
+
+std::unordered_map<Key, std::unique_ptr<CtlNode>, KeyHash>& table() {
+  static auto* t = new std::unordered_map<Key, std::unique_ptr<CtlNode>, KeyHash>();
+  return *t;
+}
+
+const CtlNode* intern(CtlOp op, std::string action, const CtlNode* left,
+                      const CtlNode* right) {
+  Key key{op, action, left, right};
+  auto it = table().find(key);
+  if (it == table().end()) {
+    auto node = std::make_unique<CtlNode>();
+    node->op = op;
+    node->action = std::move(action);
+    node->left = left;
+    node->right = right;
+    it = table().emplace(std::move(key), std::move(node)).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+class CtlFactory {
+ public:
+  static CtlFormula make(const CtlNode* n) { return CtlFormula(n); }
+};
+
+namespace {
+CtlFormula wrap(const CtlNode* n) { return CtlFactory::make(n); }
+}  // namespace
+
+CtlOp CtlFormula::op() const { return node_->op; }
+const std::string& CtlFormula::action() const { return node_->action; }
+CtlFormula CtlFormula::left() const { return wrap(node_->left); }
+CtlFormula CtlFormula::right() const { return wrap(node_->right); }
+
+std::string CtlFormula::to_string() const {
+  switch (op()) {
+    case CtlOp::kTrue:
+      return "true";
+    case CtlOp::kFalse:
+      return "false";
+    case CtlOp::kCan:
+      return "can(" + action() + ")";
+    case CtlOp::kDeadlock:
+      return "deadlock";
+    case CtlOp::kNot:
+      return "!(" + left().to_string() + ")";
+    case CtlOp::kAnd:
+      return "(" + left().to_string() + " && " + right().to_string() + ")";
+    case CtlOp::kOr:
+      return "(" + left().to_string() + " || " + right().to_string() + ")";
+    case CtlOp::kExistsNext:
+      return "EX " + left().to_string();
+    case CtlOp::kExistsFinally:
+      return "EF " + left().to_string();
+    case CtlOp::kExistsGlobally:
+      return "EG " + left().to_string();
+    case CtlOp::kExistsUntil:
+      return "E[" + left().to_string() + " U " + right().to_string() + "]";
+    case CtlOp::kForallNext:
+      return "AX " + left().to_string();
+    case CtlOp::kForallFinally:
+      return "AF " + left().to_string();
+    case CtlOp::kForallGlobally:
+      return "AG " + left().to_string();
+    case CtlOp::kForallUntil:
+      return "A[" + left().to_string() + " U " + right().to_string() + "]";
+  }
+  return "?";
+}
+
+CtlFormula c_true() { return wrap(intern(CtlOp::kTrue, {}, nullptr, nullptr)); }
+CtlFormula c_false() {
+  return wrap(intern(CtlOp::kFalse, {}, nullptr, nullptr));
+}
+CtlFormula c_can(std::string_view action) {
+  return wrap(intern(CtlOp::kCan, std::string(action), nullptr, nullptr));
+}
+CtlFormula c_deadlock() {
+  return wrap(intern(CtlOp::kDeadlock, {}, nullptr, nullptr));
+}
+CtlFormula c_not(CtlFormula f) {
+  if (f.op() == CtlOp::kTrue) return c_false();
+  if (f.op() == CtlOp::kFalse) return c_true();
+  if (f.op() == CtlOp::kNot) return f.left();
+  return wrap(intern(CtlOp::kNot, {}, f.raw(), nullptr));
+}
+CtlFormula c_and(CtlFormula a, CtlFormula b) {
+  if (a.op() == CtlOp::kFalse || b.op() == CtlOp::kFalse) return c_false();
+  if (a.op() == CtlOp::kTrue) return b;
+  if (b.op() == CtlOp::kTrue) return a;
+  if (a == b) return a;
+  return wrap(intern(CtlOp::kAnd, {}, a.raw(), b.raw()));
+}
+CtlFormula c_or(CtlFormula a, CtlFormula b) {
+  if (a.op() == CtlOp::kTrue || b.op() == CtlOp::kTrue) return c_true();
+  if (a.op() == CtlOp::kFalse) return b;
+  if (b.op() == CtlOp::kFalse) return a;
+  if (a == b) return a;
+  return wrap(intern(CtlOp::kOr, {}, a.raw(), b.raw()));
+}
+CtlFormula c_ex(CtlFormula f) {
+  return wrap(intern(CtlOp::kExistsNext, {}, f.raw(), nullptr));
+}
+CtlFormula c_ef(CtlFormula f) {
+  return wrap(intern(CtlOp::kExistsFinally, {}, f.raw(), nullptr));
+}
+CtlFormula c_eg(CtlFormula f) {
+  return wrap(intern(CtlOp::kExistsGlobally, {}, f.raw(), nullptr));
+}
+CtlFormula c_eu(CtlFormula a, CtlFormula b) {
+  return wrap(intern(CtlOp::kExistsUntil, {}, a.raw(), b.raw()));
+}
+CtlFormula c_ax(CtlFormula f) {
+  return wrap(intern(CtlOp::kForallNext, {}, f.raw(), nullptr));
+}
+CtlFormula c_af(CtlFormula f) {
+  return wrap(intern(CtlOp::kForallFinally, {}, f.raw(), nullptr));
+}
+CtlFormula c_ag(CtlFormula f) {
+  return wrap(intern(CtlOp::kForallGlobally, {}, f.raw(), nullptr));
+}
+CtlFormula c_au(CtlFormula a, CtlFormula b) {
+  return wrap(intern(CtlOp::kForallUntil, {}, a.raw(), b.raw()));
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+namespace {
+
+class CtlParser {
+ public:
+  explicit CtlParser(std::string_view text) : text_(text) {}
+
+  CtlFormula parse() {
+    CtlFormula f = parse_or();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw std::runtime_error("CTL parse error: trailing input at offset " +
+                               std::to_string(pos_));
+    }
+    return f;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  static bool word_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  bool eat(std::string_view token) {
+    skip_ws();
+    if (!text_.substr(pos_).starts_with(token)) return false;
+    if (word_char(token.front())) {
+      const std::size_t end = pos_ + token.size();
+      if (end < text_.size() && word_char(text_[end])) return false;
+    }
+    pos_ += token.size();
+    return true;
+  }
+
+  [[noreturn]] void fail(const std::string& message) {
+    throw std::runtime_error("CTL parse error: " + message + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  CtlFormula parse_or() {
+    CtlFormula f = parse_and();
+    while (eat("||") || eat("|")) f = c_or(f, parse_and());
+    return f;
+  }
+
+  CtlFormula parse_and() {
+    CtlFormula f = parse_unary();
+    while (eat("&&") || eat("&")) f = c_and(f, parse_unary());
+    return f;
+  }
+
+  CtlFormula parse_until(bool universal) {
+    // E[ξ U ζ] / A[ξ U ζ]; the '[' has been consumed by the caller.
+    CtlFormula a = parse_or();
+    if (!eat("U")) fail("expected 'U' in until");
+    CtlFormula b = parse_or();
+    if (!eat("]")) fail("expected ']'");
+    return universal ? c_au(a, b) : c_eu(a, b);
+  }
+
+  CtlFormula parse_unary() {
+    if (eat("!")) return c_not(parse_unary());
+    if (eat("EX")) return c_ex(parse_unary());
+    if (eat("EF")) return c_ef(parse_unary());
+    if (eat("EG")) return c_eg(parse_unary());
+    if (eat("AX")) return c_ax(parse_unary());
+    if (eat("AF")) return c_af(parse_unary());
+    if (eat("AG")) return c_ag(parse_unary());
+    skip_ws();
+    if (pos_ < text_.size() && (text_[pos_] == 'E' || text_[pos_] == 'A')) {
+      const bool universal = text_[pos_] == 'A';
+      const std::size_t save = pos_;
+      ++pos_;
+      if (eat("[")) return parse_until(universal);
+      pos_ = save;
+    }
+    return parse_primary();
+  }
+
+  CtlFormula parse_primary() {
+    skip_ws();
+    if (eat("(")) {
+      CtlFormula f = parse_or();
+      if (!eat(")")) fail("expected ')'");
+      return f;
+    }
+    if (eat("true")) return c_true();
+    if (eat("false")) return c_false();
+    if (eat("deadlock")) return c_deadlock();
+    if (eat("can")) {
+      if (!eat("(")) fail("expected '(' after can");
+      skip_ws();
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() && word_char(text_[pos_])) ++pos_;
+      if (pos_ == start) fail("expected action name");
+      const std::string action(text_.substr(start, pos_ - start));
+      if (!eat(")")) fail("expected ')'");
+      return c_can(action);
+    }
+    fail("expected formula");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+CtlFormula parse_ctl(std::string_view text) { return CtlParser(text).parse(); }
+
+// ---------------------------------------------------------------------------
+// Model checking.
+
+namespace {
+
+class CtlChecker {
+ public:
+  explicit CtlChecker(const Nfa& system) : system_(system) {
+    const std::size_t n = system.num_states();
+    pred_.resize(n);
+    for (State s = 0; s < n; ++s) {
+      for (const auto& t : system.out(s)) pred_[t.target].push_back(s);
+    }
+  }
+
+  DynBitset states(CtlFormula f) {
+    auto it = memo_.find(f);
+    if (it != memo_.end()) return it->second;
+    DynBitset result = compute(f);
+    memo_.emplace(f, result);
+    return result;
+  }
+
+ private:
+  DynBitset all() {
+    DynBitset set(system_.num_states());
+    for (State s = 0; s < system_.num_states(); ++s) set.set(s);
+    return set;
+  }
+
+  DynBitset none() { return DynBitset(system_.num_states()); }
+
+  /// States with some successor in `target`.
+  DynBitset pre_exists(const DynBitset& target) {
+    DynBitset result = none();
+    target.for_each([&](std::size_t t) {
+      for (const State p : pred_[t]) result.set(p);
+    });
+    return result;
+  }
+
+  /// States all of whose successors lie in `target` (deadlocks qualify
+  /// vacuously — standard CTL-over-possibly-finite-paths convention; the
+  /// library's transition systems are usually deadlock-free).
+  DynBitset pre_forall(const DynBitset& target) {
+    DynBitset result = none();
+    for (State s = 0; s < system_.num_states(); ++s) {
+      bool ok = true;
+      for (const auto& t : system_.out(s)) ok = ok && target.test(t.target);
+      if (ok) result.set(s);
+    }
+    return result;
+  }
+
+  /// Least fixpoint for E[a U b] / A[a U b].
+  DynBitset until(const DynBitset& a, const DynBitset& b, bool universal) {
+    DynBitset result = b;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      const DynBitset step =
+          universal ? pre_forall(result) : pre_exists(result);
+      for (State s = 0; s < system_.num_states(); ++s) {
+        if (!result.test(s) && a.test(s) && step.test(s)) {
+          // AU additionally requires a successor to exist (no vacuous
+          // deadlock satisfaction of the "until" progress obligation).
+          if (universal && system_.out(s).empty()) continue;
+          result.set(s);
+          changed = true;
+        }
+      }
+    }
+    return result;
+  }
+
+  /// Greatest fixpoint for EG.
+  DynBitset globally_exists(const DynBitset& a) {
+    DynBitset result = a;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      const DynBitset step = pre_exists(result);
+      for (State s = 0; s < system_.num_states(); ++s) {
+        if (result.test(s) && !step.test(s)) {
+          result.reset(s);
+          changed = true;
+        }
+      }
+    }
+    return result;
+  }
+
+  DynBitset compute(CtlFormula f) {
+    switch (f.op()) {
+      case CtlOp::kTrue:
+        return all();
+      case CtlOp::kFalse:
+        return none();
+      case CtlOp::kCan: {
+        DynBitset result = none();
+        if (!system_.alphabet()->contains(f.action())) return result;
+        const Symbol a = system_.alphabet()->id(f.action());
+        for (State s = 0; s < system_.num_states(); ++s) {
+          for (const auto& t : system_.out(s)) {
+            if (t.symbol == a) {
+              result.set(s);
+              break;
+            }
+          }
+        }
+        return result;
+      }
+      case CtlOp::kDeadlock: {
+        DynBitset result = none();
+        for (State s = 0; s < system_.num_states(); ++s) {
+          if (system_.out(s).empty()) result.set(s);
+        }
+        return result;
+      }
+      case CtlOp::kNot: {
+        DynBitset result = all();
+        result -= states(f.left());
+        return result;
+      }
+      case CtlOp::kAnd: {
+        DynBitset result = states(f.left());
+        result &= states(f.right());
+        return result;
+      }
+      case CtlOp::kOr: {
+        DynBitset result = states(f.left());
+        result |= states(f.right());
+        return result;
+      }
+      case CtlOp::kExistsNext:
+        return pre_exists(states(f.left()));
+      case CtlOp::kExistsFinally:
+        return until(all(), states(f.left()), /*universal=*/false);
+      case CtlOp::kExistsGlobally:
+        return globally_exists(states(f.left()));
+      case CtlOp::kExistsUntil:
+        return until(states(f.left()), states(f.right()),
+                     /*universal=*/false);
+      case CtlOp::kForallNext: {
+        // AX ξ = states whose every successor satisfies ξ AND that have a
+        // successor (infinite-path semantics on deadlock-free systems; on
+        // deadlocks AX is false, matching ¬EX¬ξ ∧ EX true).
+        DynBitset result = pre_forall(states(f.left()));
+        DynBitset has_succ = none();
+        for (State s = 0; s < system_.num_states(); ++s) {
+          if (!system_.out(s).empty()) has_succ.set(s);
+        }
+        result &= has_succ;
+        return result;
+      }
+      case CtlOp::kForallFinally:
+        return until(all(), states(f.left()), /*universal=*/true);
+      case CtlOp::kForallGlobally: {
+        // AG ξ = ¬EF¬ξ.
+        DynBitset not_xi = all();
+        not_xi -= states(f.left());
+        DynBitset ef = until(all(), not_xi, /*universal=*/false);
+        DynBitset result = all();
+        result -= ef;
+        return result;
+      }
+      case CtlOp::kForallUntil:
+        return until(states(f.left()), states(f.right()),
+                     /*universal=*/true);
+    }
+    return none();
+  }
+
+  const Nfa& system_;
+  std::vector<std::vector<State>> pred_;
+  std::unordered_map<CtlFormula, DynBitset, CtlFormulaHash> memo_;
+};
+
+}  // namespace
+
+DynBitset ctl_states(const Nfa& system, CtlFormula f) {
+  CtlChecker checker(system);
+  return checker.states(f);
+}
+
+bool ctl_holds(const Nfa& system, CtlFormula f) {
+  const DynBitset sat = ctl_states(system, f);
+  if (system.initial().empty()) return true;
+  for (const State s : system.initial()) {
+    if (!sat.test(s)) return false;
+  }
+  return true;
+}
+
+}  // namespace rlv

@@ -1,0 +1,106 @@
+#pragma once
+
+// Branching-time companion: a CTL model checker over action-labeled
+// transition systems. The paper's conclusion points to the ∀□∃◇-fragment of
+// CTL* ([18, 19]: Nitsche's homomorphic-abstraction results for branching
+// time); this module makes that connection executable:
+//
+//     lim(L) ⊨_RL □◇⟨a⟩   ⟺   TS ⊨ AG EF can(a)
+//
+// (every behavior prefix can be extended with infinitely many a's exactly
+// when from every reachable state a state with an a-transition is
+// reachable) — property-tested in tests/test_ctl.cpp.
+//
+// Atomic propositions are action-based: can(a) holds in a state iff an
+// a-transition leaves it; deadlock holds iff no transition leaves it.
+// Formulas: true/false, can(a), deadlock, ¬, ∧, ∨, EX, EF, EG, EU, AX, AF,
+// AG, AU. Model checking is by the standard linear-time fixpoint labeling.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "rlv/lang/nfa.hpp"
+#include "rlv/util/bitset.hpp"
+
+namespace rlv {
+
+enum class CtlOp : std::uint8_t {
+  kTrue,
+  kFalse,
+  kCan,       // can(a): some a-transition leaves the state
+  kDeadlock,  // no transition leaves the state
+  kNot,
+  kAnd,
+  kOr,
+  kExistsNext,      // EX
+  kExistsFinally,   // EF
+  kExistsGlobally,  // EG
+  kExistsUntil,     // E[ξ U ζ]
+  kForallNext,      // AX
+  kForallFinally,   // AF
+  kForallGlobally,  // AG
+  kForallUntil,     // A[ξ U ζ]
+};
+
+class CtlNode;
+
+/// Handle to an interned CTL formula (hash-consed like Formula).
+class CtlFormula {
+ public:
+  CtlFormula() = default;
+
+  [[nodiscard]] CtlOp op() const;
+  [[nodiscard]] const std::string& action() const;  // kCan only
+  [[nodiscard]] CtlFormula left() const;
+  [[nodiscard]] CtlFormula right() const;
+  [[nodiscard]] bool valid() const { return node_ != nullptr; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(CtlFormula a, CtlFormula b) {
+    return a.node_ == b.node_;
+  }
+  [[nodiscard]] std::size_t hash() const {
+    return std::hash<const CtlNode*>{}(node_);
+  }
+  [[nodiscard]] const CtlNode* raw() const { return node_; }
+
+ private:
+  friend class CtlFactory;
+  explicit CtlFormula(const CtlNode* node) : node_(node) {}
+  const CtlNode* node_ = nullptr;
+};
+
+struct CtlFormulaHash {
+  std::size_t operator()(CtlFormula f) const { return f.hash(); }
+};
+
+[[nodiscard]] CtlFormula c_true();
+[[nodiscard]] CtlFormula c_false();
+[[nodiscard]] CtlFormula c_can(std::string_view action);
+[[nodiscard]] CtlFormula c_deadlock();
+[[nodiscard]] CtlFormula c_not(CtlFormula f);
+[[nodiscard]] CtlFormula c_and(CtlFormula a, CtlFormula b);
+[[nodiscard]] CtlFormula c_or(CtlFormula a, CtlFormula b);
+[[nodiscard]] CtlFormula c_ex(CtlFormula f);
+[[nodiscard]] CtlFormula c_ef(CtlFormula f);
+[[nodiscard]] CtlFormula c_eg(CtlFormula f);
+[[nodiscard]] CtlFormula c_eu(CtlFormula a, CtlFormula b);
+[[nodiscard]] CtlFormula c_ax(CtlFormula f);
+[[nodiscard]] CtlFormula c_af(CtlFormula f);
+[[nodiscard]] CtlFormula c_ag(CtlFormula f);
+[[nodiscard]] CtlFormula c_au(CtlFormula a, CtlFormula b);
+
+/// Parses "AG EF can(result)", "E[can(a) U deadlock]", "!x && y", etc.
+/// Grammar mirrors the LTL parser; throws std::runtime_error on errors.
+[[nodiscard]] CtlFormula parse_ctl(std::string_view text);
+
+/// States of the transition system satisfying `f` (acceptance flags of
+/// `system` are ignored; it is treated as a plain labeled graph).
+[[nodiscard]] DynBitset ctl_states(const Nfa& system, CtlFormula f);
+
+/// Does every initial state satisfy `f`?
+[[nodiscard]] bool ctl_holds(const Nfa& system, CtlFormula f);
+
+}  // namespace rlv

@@ -1,0 +1,48 @@
+#pragma once
+
+// Model checking under strong fairness: does *every* strongly
+// transition-fair run of a system satisfy a PLTL property? Decided by
+// searching for a fair run of the system that is accepted by the automaton
+// of ¬f — a Streett emptiness problem (fairness pairs lifted through the
+// product, plus one Streett pair encoding the Büchi acceptance of ¬f).
+//
+// This is the validation oracle for Theorem 5.1: the synthesized
+// implementation must pass check_fair_satisfaction for the property it was
+// built from.
+
+#include <optional>
+
+#include "rlv/fair/fairness.hpp"
+#include "rlv/ltl/ast.hpp"
+#include "rlv/omega/buchi.hpp"
+#include "rlv/omega/emptiness.hpp"
+
+namespace rlv {
+
+struct FairCheckResult {
+  bool all_fair_runs_satisfy = false;
+  /// A strongly fair run violating the property, when one exists. The word
+  /// is a lasso over the system alphabet.
+  std::optional<Lasso> counterexample;
+};
+
+/// Does every fair infinite run of `system` (a transition system:
+/// all-accepting Büchi automaton) satisfy f under λ? Fairness defaults to
+/// the strong transition notion Theorem 5.1 relies on.
+[[nodiscard]] FairCheckResult check_fair_satisfaction(
+    const Buchi& system, Formula f, const Labeling& lambda,
+    FairnessKind kind = FairnessKind::kStrongTransition);
+
+/// Variant with the violating behavior given as a Büchi automaton for ¬P.
+[[nodiscard]] FairCheckResult check_fair_satisfaction_negated(
+    const Buchi& system, const Buchi& negated_property,
+    FairnessKind kind = FairnessKind::kStrongTransition);
+
+/// Process-fairness flavor: does every strongly process-fair run satisfy f?
+/// Processes are given as action-name prefixes (see group_edges_by_prefix);
+/// actions matching no prefix belong to no process and are unconstrained.
+[[nodiscard]] FairCheckResult check_process_fair_satisfaction(
+    const Buchi& system, Formula f, const Labeling& lambda,
+    const std::vector<std::string>& process_prefixes);
+
+}  // namespace rlv

@@ -1,0 +1,46 @@
+#include "rlv/fair/simulate.hpp"
+
+#include <vector>
+
+#include "rlv/util/rng.hpp"
+
+namespace rlv {
+
+Word simulate_fair_run(const Nfa& structure, const SimulationOptions& options) {
+  Rng rng(options.seed);
+  Word word;
+  if (structure.initial().empty()) return word;
+
+  const State start =
+      structure.initial()[rng.next_below(structure.initial().size())];
+
+  // Taken-count per (state, out-index).
+  std::vector<std::vector<std::uint64_t>> taken(structure.num_states());
+  for (State s = 0; s < structure.num_states(); ++s) {
+    taken[s].assign(structure.out(s).size(), 0);
+  }
+
+  State at = start;
+  for (std::size_t step = 0; step < options.steps; ++step) {
+    const auto& out = structure.out(at);
+    if (out.empty()) break;
+    // Least-taken transition; ties broken randomly via reservoir sampling.
+    std::size_t best = 0;
+    std::size_t num_best = 1;
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      if (taken[at][i] < taken[at][best]) {
+        best = i;
+        num_best = 1;
+      } else if (taken[at][i] == taken[at][best]) {
+        ++num_best;
+        if (rng.next_below(num_best) == 0) best = i;
+      }
+    }
+    ++taken[at][best];
+    word.push_back(out[best].symbol);
+    at = out[best].target;
+  }
+  return word;
+}
+
+}  // namespace rlv

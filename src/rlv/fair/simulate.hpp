@@ -1,0 +1,27 @@
+#pragma once
+
+// Randomized strongly-fair execution of a transition system. The scheduler
+// picks, at each state, the out-transition taken least often so far (ties
+// broken uniformly at random); along any infinite execution this makes
+// every transition that is enabled infinitely often also taken infinitely
+// often from states revisited forever — a practical strongly fair driver
+// for demos and statistical tests of Theorem 5.1.
+
+#include <cstdint>
+
+#include "rlv/lang/nfa.hpp"
+
+namespace rlv {
+
+struct SimulationOptions {
+  std::uint64_t seed = 1;
+  std::size_t steps = 1000;
+};
+
+/// Generates a finite fair run (word of length <= steps; shorter only if a
+/// dead-end state is reached). The structure is followed like a transition
+/// system: acceptance flags are ignored.
+[[nodiscard]] Word simulate_fair_run(const Nfa& structure,
+                                     const SimulationOptions& options);
+
+}  // namespace rlv

@@ -1,0 +1,68 @@
+#pragma once
+
+// Guarded-command systems: finite-domain variables plus rules
+// (guard, update, action label), unfolded into a labeled transition system
+// by explicit-state exploration. This is the modeling front end for
+// algorithms whose enabling conditions are predicates over shared state
+// (e.g. Peterson's mutual exclusion, gen/families.hpp) — the kind of
+// disjunctive guard that pure synchronized components cannot express
+// directly.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rlv/lang/nfa.hpp"
+
+namespace rlv {
+
+/// A valuation assigns each variable a value below its domain size.
+using Valuation = std::vector<std::uint8_t>;
+
+class GuardedSystem {
+ public:
+  using VarId = std::size_t;
+
+  /// Declares a variable with domain {0 .. domain_size-1}.
+  VarId add_variable(std::string_view name, std::uint8_t domain_size,
+                     std::uint8_t initial_value = 0);
+
+  /// Adds a rule: when `guard` holds, action `label` may fire, applying
+  /// `update` to a copy of the valuation.
+  void add_rule(std::string_view label,
+                std::function<bool(const Valuation&)> guard,
+                std::function<void(Valuation&)> update);
+
+  [[nodiscard]] std::size_t num_variables() const { return names_.size(); }
+  [[nodiscard]] const std::string& variable_name(VarId v) const {
+    return names_[v];
+  }
+
+  struct BuildResult {
+    /// Prefix-closed all-accepting transition system; state 0 is initial.
+    Nfa system;
+    /// The valuation of each state.
+    std::vector<Valuation> valuations;
+    /// False when `max_states` was hit.
+    bool complete = true;
+  };
+
+  /// Unfolds the reachable state space.
+  [[nodiscard]] BuildResult build(std::size_t max_states = 1u << 20) const;
+
+ private:
+  struct Rule {
+    std::string label;
+    std::function<bool(const Valuation&)> guard;
+    std::function<void(Valuation&)> update;
+  };
+
+  std::vector<std::string> names_;
+  std::vector<std::uint8_t> domains_;
+  Valuation initial_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace rlv

@@ -1,0 +1,138 @@
+#include "rlv/gen/random.hpp"
+
+#include <string>
+
+#include "rlv/lang/ops.hpp"
+
+namespace rlv {
+
+AlphabetRef random_alphabet(std::size_t size) {
+  std::vector<std::string> names;
+  names.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    names.push_back("a" + std::to_string(i));
+  }
+  return Alphabet::make(names);
+}
+
+Nfa random_transition_system(Rng& rng, std::size_t num_states,
+                             AlphabetRef sigma) {
+  Nfa nfa(sigma);
+  for (std::size_t i = 0; i < num_states; ++i) nfa.add_state(true);
+  for (State s = 0; s < num_states; ++s) {
+    std::size_t out_degree = 0;
+    for (Symbol a = 0; a < sigma->size(); ++a) {
+      if (rng.chance(1, 2)) {
+        nfa.add_transition(s, a, static_cast<State>(rng.next_below(num_states)));
+        ++out_degree;
+      }
+    }
+    if (out_degree == 0) {
+      // Guarantee an infinite continuation from every state.
+      nfa.add_transition(s, static_cast<Symbol>(rng.next_below(sigma->size())),
+                         static_cast<State>(rng.next_below(num_states)));
+    }
+  }
+  nfa.set_initial(0);
+  return trim(nfa);
+}
+
+Buchi random_buchi(Rng& rng, std::size_t num_states, AlphabetRef sigma) {
+  Buchi buchi(sigma);
+  for (std::size_t i = 0; i < num_states; ++i) {
+    buchi.add_state(rng.chance(1, 3));
+  }
+  for (State s = 0; s < num_states; ++s) {
+    for (Symbol a = 0; a < sigma->size(); ++a) {
+      const std::uint64_t fanout = rng.next_below(3);
+      for (std::uint64_t k = 0; k < fanout; ++k) {
+        buchi.structure().add_transition_unique(
+            s, a, static_cast<State>(rng.next_below(num_states)));
+      }
+    }
+  }
+  buchi.set_initial(static_cast<State>(rng.next_below(num_states)));
+  return buchi;
+}
+
+Nfa random_nfa(Rng& rng, std::size_t num_states, AlphabetRef sigma) {
+  Nfa nfa(sigma);
+  for (std::size_t i = 0; i < num_states; ++i) {
+    nfa.add_state(rng.chance(1, 3));
+  }
+  for (State s = 0; s < num_states; ++s) {
+    for (Symbol a = 0; a < sigma->size(); ++a) {
+      const std::uint64_t fanout = rng.next_below(3);
+      for (std::uint64_t k = 0; k < fanout; ++k) {
+        nfa.add_transition_unique(
+            s, a, static_cast<State>(rng.next_below(num_states)));
+      }
+    }
+  }
+  nfa.set_initial(static_cast<State>(rng.next_below(num_states)));
+  return nfa;
+}
+
+Homomorphism random_homomorphism(Rng& rng, AlphabetRef source,
+                                 std::size_t target_size,
+                                 std::uint64_t hide_percent) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < target_size; ++i) {
+    names.push_back("b" + std::to_string(i));
+  }
+  auto target = Alphabet::make(names);
+  Homomorphism h(source, target);
+  for (Symbol a = 0; a < source->size(); ++a) {
+    if (rng.chance(hide_percent, 100)) continue;  // stays hidden
+    h.rename(source->name(a), names[rng.next_below(target_size)]);
+  }
+  return h;
+}
+
+Formula random_formula(Rng& rng, const std::vector<std::string>& atoms,
+                       std::size_t max_depth) {
+  if (max_depth == 0 || rng.chance(1, 5)) {
+    const std::uint64_t pick = rng.next_below(atoms.size() + 2);
+    if (pick == atoms.size()) return f_true();
+    if (pick == atoms.size() + 1) return f_false();
+    return f_atom(atoms[pick]);
+  }
+  switch (rng.next_below(7)) {
+    case 0:
+      return f_not(random_formula(rng, atoms, max_depth - 1));
+    case 1:
+      return f_and(random_formula(rng, atoms, max_depth - 1),
+                   random_formula(rng, atoms, max_depth - 1));
+    case 2:
+      return f_or(random_formula(rng, atoms, max_depth - 1),
+                  random_formula(rng, atoms, max_depth - 1));
+    case 3:
+      return f_next(random_formula(rng, atoms, max_depth - 1));
+    case 4:
+      return f_until(random_formula(rng, atoms, max_depth - 1),
+                     random_formula(rng, atoms, max_depth - 1));
+    case 5:
+      return f_release(random_formula(rng, atoms, max_depth - 1),
+                       random_formula(rng, atoms, max_depth - 1));
+    default:
+      return f_eventually(random_formula(rng, atoms, max_depth - 1));
+  }
+}
+
+std::pair<Word, Word> random_lasso(Rng& rng, AlphabetRef sigma,
+                                   std::size_t max_prefix,
+                                   std::size_t max_period) {
+  Word u;
+  Word v;
+  const std::size_t plen = rng.next_below(max_prefix + 1);
+  const std::size_t vlen = 1 + rng.next_below(max_period);
+  for (std::size_t i = 0; i < plen; ++i) {
+    u.push_back(static_cast<Symbol>(rng.next_below(sigma->size())));
+  }
+  for (std::size_t i = 0; i < vlen; ++i) {
+    v.push_back(static_cast<Symbol>(rng.next_below(sigma->size())));
+  }
+  return {std::move(u), std::move(v)};
+}
+
+}  // namespace rlv

@@ -1,0 +1,55 @@
+#pragma once
+
+// Random instance generators shared by the property-test suites and the
+// benchmark harness: transition systems, Büchi automata, homomorphisms,
+// PLTL formulas, and lasso words — all deterministic given the Rng seed.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rlv/hom/homomorphism.hpp"
+#include "rlv/lang/nfa.hpp"
+#include "rlv/ltl/ast.hpp"
+#include "rlv/omega/buchi.hpp"
+#include "rlv/util/rng.hpp"
+
+namespace rlv {
+
+/// Fresh alphabet a0..a{size-1}.
+[[nodiscard]] AlphabetRef random_alphabet(std::size_t size);
+
+/// Prefix-closed, all-accepting, trimmed transition system in which every
+/// state has at least one outgoing transition (so lim(L) has no dead ends
+/// and L has no maximal words).
+[[nodiscard]] Nfa random_transition_system(Rng& rng, std::size_t num_states,
+                                           AlphabetRef sigma);
+
+/// Random Büchi automaton (arbitrary acceptance; may be empty).
+[[nodiscard]] Buchi random_buchi(Rng& rng, std::size_t num_states,
+                                 AlphabetRef sigma);
+
+/// Random NFA over `sigma`.
+[[nodiscard]] Nfa random_nfa(Rng& rng, std::size_t num_states,
+                             AlphabetRef sigma);
+
+/// Random homomorphism from `source` onto a fresh target alphabet of
+/// `target_size` letters; each source letter maps to a uniform target letter
+/// or (with probability `hide_percent`/100) to ε.
+[[nodiscard]] Homomorphism random_homomorphism(Rng& rng, AlphabetRef source,
+                                               std::size_t target_size,
+                                               std::uint64_t hide_percent);
+
+/// Random PLTL formula over the given atom names, with `max_depth` operator
+/// nesting.
+[[nodiscard]] Formula random_formula(Rng& rng,
+                                     const std::vector<std::string>& atoms,
+                                     std::size_t max_depth);
+
+/// Random ultimately periodic word: prefix length in [0, max_prefix],
+/// period length in [1, max_period].
+[[nodiscard]] std::pair<Word, Word> random_lasso(Rng& rng, AlphabetRef sigma,
+                                                 std::size_t max_prefix,
+                                                 std::size_t max_period);
+
+}  // namespace rlv

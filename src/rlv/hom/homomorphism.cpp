@@ -1,0 +1,70 @@
+#include "rlv/hom/homomorphism.hpp"
+
+#include <cassert>
+
+namespace rlv {
+
+Homomorphism Homomorphism::projection(
+    AlphabetRef source, std::initializer_list<std::string_view> kept) {
+  std::vector<std::string> names;
+  for (const auto name : kept) names.emplace_back(name);
+  return projection(std::move(source), names);
+}
+
+Homomorphism Homomorphism::projection(AlphabetRef source,
+                                      const std::vector<std::string>& kept) {
+  auto target = Alphabet::make(kept);
+  Homomorphism h(std::move(source), std::move(target));
+  for (const auto& name : kept) {
+    assert(h.source_->contains(name) && "projected name not in source");
+    h.rename(name, name);
+  }
+  return h;
+}
+
+Homomorphism::Homomorphism(AlphabetRef source, AlphabetRef target)
+    : source_(std::move(source)),
+      target_(std::move(target)),
+      map_(source_->size(), kHidden) {}
+
+void Homomorphism::rename(std::string_view from, std::string_view to) {
+  map_[source_->id(from)] = target_->id(to);
+}
+
+void Homomorphism::hide(std::string_view name) {
+  map_[source_->id(name)] = kHidden;
+}
+
+Word Homomorphism::apply_word(const Word& w) const {
+  Word out;
+  out.reserve(w.size());
+  for (const Symbol s : w) {
+    if (map_[s] != kHidden) out.push_back(map_[s]);
+  }
+  return out;
+}
+
+std::optional<std::pair<Word, Word>> Homomorphism::apply_lasso(
+    const Word& u, const Word& v) const {
+  Word pv = apply_word(v);
+  if (pv.empty()) return std::nullopt;  // image finite: h undefined (Def 6.1)
+  return std::make_pair(apply_word(u), std::move(pv));
+}
+
+std::vector<Symbol> Homomorphism::preimage(Symbol target_symbol) const {
+  std::vector<Symbol> result;
+  for (Symbol s = 0; s < map_.size(); ++s) {
+    if (map_[s] == target_symbol) result.push_back(s);
+  }
+  return result;
+}
+
+std::vector<Symbol> Homomorphism::hidden_letters() const {
+  std::vector<Symbol> result;
+  for (Symbol s = 0; s < map_.size(); ++s) {
+    if (map_[s] == kHidden) result.push_back(s);
+  }
+  return result;
+}
+
+}  // namespace rlv

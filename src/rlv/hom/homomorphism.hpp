@@ -1,0 +1,70 @@
+#pragma once
+
+// Abstracting homomorphisms (Definition 6.1): total maps h : Σ → Σ' ∪ {ε}
+// extended letter-wise to finite words, and to ω-words where the image is
+// infinite. Hidden letters (h(a) = ε) vanish from the image; on ω-words
+// whose visible part is finite, h is undefined (Definition 6.1), which
+// callers handle via apply_omega's optional result.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "rlv/lang/alphabet.hpp"
+
+namespace rlv {
+
+class Homomorphism {
+ public:
+  /// Identity-on-names projection: keeps the listed action names (building a
+  /// fresh target alphabet from them, in the given order) and hides every
+  /// other letter of `source`. This is the abstraction used in the paper's
+  /// running example (keep request/result/reject, hide the rest).
+  static Homomorphism projection(AlphabetRef source,
+                                 std::initializer_list<std::string_view> kept);
+  static Homomorphism projection(AlphabetRef source,
+                                 const std::vector<std::string>& kept);
+
+  /// Starts an explicit mapping; every source letter is hidden until mapped.
+  Homomorphism(AlphabetRef source, AlphabetRef target);
+
+  /// Maps source letter `from` to target letter `to`.
+  void rename(std::string_view from, std::string_view to);
+  /// Hides source letter `name` (maps it to ε).
+  void hide(std::string_view name);
+
+  [[nodiscard]] const AlphabetRef& source() const { return source_; }
+  [[nodiscard]] const AlphabetRef& target() const { return target_; }
+
+  /// Image of a single letter; nullopt encodes ε.
+  [[nodiscard]] std::optional<Symbol> apply(Symbol s) const {
+    return map_[s] == kHidden ? std::nullopt
+                              : std::optional<Symbol>(map_[s]);
+  }
+
+  [[nodiscard]] bool hides(Symbol s) const { return map_[s] == kHidden; }
+
+  /// Image of a finite word (hidden letters dropped).
+  [[nodiscard]] Word apply_word(const Word& w) const;
+
+  /// Image of the ultimately periodic word u·v^ω as a lasso (h(u), h(v)),
+  /// or nullopt when the image is finite (h(v) = ε), i.e. h undefined.
+  [[nodiscard]] std::optional<std::pair<Word, Word>> apply_lasso(
+      const Word& u, const Word& v) const;
+
+  /// Preimage letters of a target letter.
+  [[nodiscard]] std::vector<Symbol> preimage(Symbol target_symbol) const;
+  /// Letters mapped to ε.
+  [[nodiscard]] std::vector<Symbol> hidden_letters() const;
+
+ private:
+  static constexpr Symbol kHidden = 0xffffffffU;
+
+  AlphabetRef source_;
+  AlphabetRef target_;
+  std::vector<Symbol> map_;  // per source symbol; kHidden = ε
+};
+
+}  // namespace rlv

@@ -1,0 +1,130 @@
+#include "rlv/hom/simplicity.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "rlv/hom/image.hpp"
+#include "rlv/lang/dfa.hpp"
+#include "rlv/lang/ops.hpp"
+#include "rlv/lang/quotient.hpp"
+#include "rlv/util/hash.hpp"
+
+namespace rlv {
+
+namespace {
+
+/// Searches the product of two complete DFAs (A from `a_start`, B from
+/// `b_start`) for a pair of states with equal residuals, moving only along
+/// words u ∈ L(A-part) — enforced by skipping the A sink (`a_dead`).
+bool witness_exists(const Dfa& a, State a_start, State a_dead, const Dfa& b,
+                    State b_start) {
+  std::vector<std::pair<State, State>> work;
+  std::map<std::pair<State, State>, bool> seen;
+  work.emplace_back(a_start, b_start);
+  seen[{a_start, b_start}] = true;
+  while (!work.empty()) {
+    const auto [pa, pb] = work.back();
+    work.pop_back();
+    if (residual_equivalent(a, pa, b, pb)) return true;
+    for (Symbol c = 0; c < a.alphabet()->size(); ++c) {
+      const State na = a.next(pa, c);
+      if (na == a_dead) continue;  // u must stay inside cont(h(w), h(L))
+      const State nb = b.next(pb, c);
+      if (!seen.emplace(std::make_pair(na, nb), true).second) continue;
+      work.emplace_back(na, nb);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SimplicityResult check_simplicity(const Nfa& nfa, const Homomorphism& h) {
+  assert(nfa.alphabet() == h.source());
+
+  // DFA for L; its states index the cont classes cont(w, L).
+  const Nfa trimmed = trim(nfa);
+  SimplicityResult result;
+  if (trimmed.num_states() == 0) {
+    result.simple = true;  // empty language: vacuously simple
+    return result;
+  }
+  const Dfa dl = minimize(determinize(trimmed));
+
+  // Determinized image automaton; its states index cont(h(w), h(L)).
+  const Dfa dh = determinize(image_nfa(trimmed, h));
+  const Dfa dh_complete = dh.complete();
+  const State dh_dead =
+      dh_complete.num_states() > dh.num_states()
+          ? static_cast<State>(dh_complete.num_states() - 1)
+          : kNoState;
+
+  // For each L-state q: the completed DFA of h(cont(w, L)) = h(residual(q)).
+  std::vector<Dfa> image_residual;
+  std::vector<State> image_residual_init;
+  image_residual.reserve(dl.num_states());
+  for (State q = 0; q < dl.num_states(); ++q) {
+    Nfa res = dl.to_nfa();
+    // Residual automaton: same structure, initial state q.
+    Nfa shifted(res.alphabet());
+    for (State s = 0; s < res.num_states(); ++s) {
+      shifted.add_state(res.is_accepting(s));
+    }
+    for (State s = 0; s < res.num_states(); ++s) {
+      for (const auto& t : res.out(s)) {
+        shifted.add_transition(s, t.symbol, t.target);
+      }
+    }
+    shifted.set_initial(q);
+    const Dfa db = determinize(image_nfa(shifted, h)).complete();
+    image_residual.push_back(db);
+    image_residual_init.push_back(db.initial());
+  }
+
+  // Coupled reachability over (q, S) pairs, tracking a witness word for
+  // failure reporting.
+  struct Item {
+    State q;
+    State s;
+    Word word;
+  };
+  std::map<std::pair<State, State>, bool> seen;
+  std::queue<Item> queue;
+  queue.push({dl.initial(), dh.initial(), {}});
+  seen[{dl.initial(), dh.initial()}] = true;
+
+  while (!queue.empty()) {
+    Item item = std::move(queue.front());
+    queue.pop();
+    ++result.pairs_checked;
+
+    if (!witness_exists(dh_complete, item.s, dh_dead,
+                        image_residual[item.q], image_residual_init[item.q])) {
+      result.simple = false;
+      result.violating_word = std::move(item.word);
+      return result;
+    }
+
+    for (Symbol a = 0; a < nfa.alphabet()->size(); ++a) {
+      const State nq = dl.next(item.q, a);
+      if (nq == kNoState) continue;  // wa ∉ L
+      State ns = item.s;
+      if (const auto mapped = h.apply(a)) {
+        ns = dh.next(item.s, *mapped);
+        assert(ns != kNoState && "image automaton must simulate h(L)");
+      }
+      if (!seen.emplace(std::make_pair(nq, ns), true).second) continue;
+      Word w = item.word;
+      w.push_back(a);
+      queue.push({nq, ns, std::move(w)});
+    }
+  }
+  result.simple = true;
+  return result;
+}
+
+}  // namespace rlv

@@ -1,0 +1,41 @@
+#pragma once
+
+// Decision procedure for *simplicity* of an abstracting homomorphism
+// (Definition 6.3, after Ochsenschläger): h is simple for a prefix-closed
+// regular L and w ∈ L iff some u ∈ cont(h(w), h(L)) satisfies
+//
+//   cont(u, cont(h(w), h(L))) = cont(u, h(cont(w, L))),
+//
+// i.e. after reading u, the continuations visible at the abstract level
+// coincide with the abstracted continuations of w. Simplicity is exactly
+// the condition under which relative liveness transfers from the abstract
+// to the concrete system (Theorem 8.2).
+//
+// Decidability: cont(w, L) depends on w only through the state of a DFA for
+// L, and cont(h(w), h(L)) only through the subset-state of the determinized
+// image automaton. We explore all reachable (state, subset-state) pairs;
+// for each, we search the product of the two residual DFAs for a state pair
+// with equal residual languages (Hopcroft–Karp).
+
+#include <optional>
+
+#include "rlv/hom/homomorphism.hpp"
+#include "rlv/lang/nfa.hpp"
+
+namespace rlv {
+
+struct SimplicityResult {
+  bool simple = false;
+  /// When not simple: a word w ∈ L for which no witness u exists.
+  std::optional<Word> violating_word;
+  /// Number of (cont-class, abstract-cont-class) pairs examined.
+  std::size_t pairs_checked = 0;
+};
+
+/// Decides whether `h` is simple for L(nfa). L must be prefix-closed (use
+/// prefix_language / reachability graphs); `h.source()` must be the
+/// automaton's alphabet.
+[[nodiscard]] SimplicityResult check_simplicity(const Nfa& nfa,
+                                                const Homomorphism& h);
+
+}  // namespace rlv

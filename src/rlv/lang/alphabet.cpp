@@ -1,0 +1,47 @@
+#include "rlv/lang/alphabet.hpp"
+
+namespace rlv {
+
+std::shared_ptr<Alphabet> Alphabet::make(
+    std::initializer_list<std::string_view> names) {
+  auto sigma = std::make_shared<Alphabet>();
+  for (const auto name : names) sigma->intern(name);
+  return sigma;
+}
+
+std::shared_ptr<Alphabet> Alphabet::make(const std::vector<std::string>& names) {
+  auto sigma = std::make_shared<Alphabet>();
+  for (const auto& name : names) sigma->intern(name);
+  return sigma;
+}
+
+Symbol Alphabet::intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const Symbol s = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), s);
+  return s;
+}
+
+Symbol Alphabet::id(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  assert(it != ids_.end() && "symbol not interned");
+  return it->second;
+}
+
+bool Alphabet::contains(std::string_view name) const {
+  return ids_.find(std::string(name)) != ids_.end();
+}
+
+std::string Alphabet::format(const Word& w) const {
+  std::string out;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i > 0) out += '.';
+    out += name(w[i]);
+  }
+  if (out.empty()) out = "\xce\xb5";  // ε for the empty word
+  return out;
+}
+
+}  // namespace rlv

@@ -1,0 +1,61 @@
+#pragma once
+
+// Alphabets and symbols. A Symbol is a dense integer id interned in an
+// Alphabet, which keeps the human-readable action names (e.g. "request",
+// "result") used throughout the paper's examples. Alphabets are shared
+// immutably-by-convention between automata via shared_ptr; symbols from
+// different alphabets must not be mixed (checked by assertions at the
+// automaton layer where cheap).
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rlv {
+
+using Symbol = std::uint32_t;
+
+/// A finite word over some alphabet, as a sequence of symbol ids.
+using Word = std::vector<Symbol>;
+
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  /// Builds an alphabet from a list of distinct symbol names.
+  static std::shared_ptr<Alphabet> make(
+      std::initializer_list<std::string_view> names);
+  static std::shared_ptr<Alphabet> make(
+      const std::vector<std::string>& names);
+
+  /// Returns the id for `name`, interning it if new.
+  Symbol intern(std::string_view name);
+
+  /// Returns the id for `name`; the name must already be interned.
+  [[nodiscard]] Symbol id(std::string_view name) const;
+
+  /// True when `name` is already interned.
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  [[nodiscard]] const std::string& name(Symbol s) const {
+    assert(s < names_.size());
+    return names_[s];
+  }
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  /// Formats a word as dot-separated action names ("lock.request.no").
+  [[nodiscard]] std::string format(const Word& w) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> ids_;
+};
+
+using AlphabetRef = std::shared_ptr<const Alphabet>;
+
+}  // namespace rlv

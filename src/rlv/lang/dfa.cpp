@@ -1,0 +1,95 @@
+#include "rlv/lang/dfa.hpp"
+
+#include <cassert>
+
+namespace rlv {
+
+State Dfa::add_state(bool accepting) {
+  const State s = static_cast<State>(accepting_.size());
+  accepting_.push_back(accepting);
+  table_.resize(table_.size() + sigma_->size(), kNoState);
+  return s;
+}
+
+void Dfa::set_transition(State from, Symbol symbol, State to) {
+  assert(from < num_states() && to < num_states());
+  assert(symbol < sigma_->size());
+  table_[static_cast<std::size_t>(from) * sigma_->size() + symbol] = to;
+}
+
+State Dfa::run(const Word& w) const { return run_from(initial_, w); }
+
+State Dfa::run_from(State start, const Word& w) const {
+  State s = start;
+  for (const Symbol a : w) {
+    if (s == kNoState) return kNoState;
+    s = next(s, a);
+  }
+  return s;
+}
+
+bool Dfa::accepts(const Word& w) const {
+  const State s = run(w);
+  return s != kNoState && accepting_[s];
+}
+
+std::size_t Dfa::num_transitions() const {
+  std::size_t n = 0;
+  for (const State t : table_) {
+    if (t != kNoState) ++n;
+  }
+  return n;
+}
+
+bool Dfa::is_complete() const {
+  for (const State t : table_) {
+    if (t == kNoState) return false;
+  }
+  return num_states() > 0;
+}
+
+Dfa Dfa::complete() const {
+  if (is_complete()) return *this;
+  Dfa result = *this;
+  const State sink = result.add_state(false);
+  for (State s = 0; s < result.num_states(); ++s) {
+    for (Symbol a = 0; a < sigma_->size(); ++a) {
+      if (result.next(s, a) == kNoState) result.set_transition(s, a, sink);
+    }
+  }
+  if (result.initial_ == kNoState) result.initial_ = sink;
+  return result;
+}
+
+Nfa Dfa::to_nfa() const {
+  Nfa nfa(sigma_);
+  for (State s = 0; s < num_states(); ++s) nfa.add_state(accepting_[s]);
+  for (State s = 0; s < num_states(); ++s) {
+    for (Symbol a = 0; a < sigma_->size(); ++a) {
+      const State t = next(s, a);
+      if (t != kNoState) nfa.add_transition(s, a, t);
+    }
+  }
+  if (initial_ != kNoState) nfa.set_initial(initial_);
+  return nfa;
+}
+
+std::string Dfa::to_string() const {
+  std::string out = "DFA states=" + std::to_string(num_states()) +
+                    " initial=" + std::to_string(initial_) + "\n";
+  for (State s = 0; s < num_states(); ++s) {
+    out += std::to_string(s);
+    if (accepting_[s]) out += "*";
+    out += ":";
+    for (Symbol a = 0; a < sigma_->size(); ++a) {
+      const State t = next(s, a);
+      if (t != kNoState) {
+        out += " -" + sigma_->name(a) + "->" + std::to_string(t);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rlv

@@ -1,0 +1,72 @@
+#pragma once
+
+// Deterministic finite automata with a dense transition table. DFAs here are
+// *partial*: a missing transition (kNoState) means the word is rejected and
+// all its extensions too. `complete()` materializes an explicit sink when an
+// algorithm needs totality (complementation, Hopcroft minimization).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rlv/lang/alphabet.hpp"
+#include "rlv/lang/nfa.hpp"
+
+namespace rlv {
+
+class Dfa {
+ public:
+  explicit Dfa(AlphabetRef sigma) : sigma_(std::move(sigma)) {}
+
+  [[nodiscard]] const AlphabetRef& alphabet() const { return sigma_; }
+
+  State add_state(bool accepting = false);
+
+  /// Sets the (unique) transition `from --symbol--> to`.
+  void set_transition(State from, Symbol symbol, State to);
+
+  void set_initial(State s) { initial_ = s; }
+  void set_accepting(State s, bool accepting = true) {
+    accepting_[s] = accepting;
+  }
+
+  [[nodiscard]] State initial() const { return initial_; }
+  [[nodiscard]] bool is_accepting(State s) const { return accepting_[s]; }
+  [[nodiscard]] std::size_t num_states() const { return accepting_.size(); }
+
+  /// Successor of `from` under `symbol`, or kNoState when undefined.
+  [[nodiscard]] State next(State from, Symbol symbol) const {
+    return table_[static_cast<std::size_t>(from) * sigma_->size() + symbol];
+  }
+
+  /// State reached from the initial state by `w`, or kNoState.
+  [[nodiscard]] State run(const Word& w) const;
+
+  /// State reached from `start` by `w`, or kNoState.
+  [[nodiscard]] State run_from(State start, const Word& w) const;
+
+  [[nodiscard]] bool accepts(const Word& w) const;
+
+  /// Number of defined transitions.
+  [[nodiscard]] std::size_t num_transitions() const;
+
+  /// True when every state has a transition on every symbol.
+  [[nodiscard]] bool is_complete() const;
+
+  /// Returns a complete DFA for the same language (adds a rejecting sink if
+  /// any transition is missing; otherwise returns *this unchanged).
+  [[nodiscard]] Dfa complete() const;
+
+  /// View as an NFA (shares no storage; copies transitions).
+  [[nodiscard]] Nfa to_nfa() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  AlphabetRef sigma_;
+  std::vector<State> table_;  // num_states * |Σ|, kNoState = undefined
+  std::vector<bool> accepting_;
+  State initial_ = kNoState;
+};
+
+}  // namespace rlv

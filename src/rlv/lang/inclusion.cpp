@@ -1,0 +1,141 @@
+#include "rlv/lang/inclusion.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rlv/util/hash.hpp"
+
+namespace rlv {
+
+namespace {
+
+/// Explored configuration: a left-hand NFA state paired with the subset of
+/// right-hand states compatible with the word read so far.
+struct Config {
+  State left;
+  DynBitset right;
+  Word word;  // witness word leading here (kept small: BFS order)
+};
+
+InclusionResult subset_inclusion(const Nfa& a, const Nfa& b) {
+  const std::size_t nb = b.num_states();
+  DynBitset b_init(nb);
+  for (const State s : b.initial()) b_init.set(s);
+
+  auto b_accepts_now = [&](const DynBitset& set) {
+    bool acc = false;
+    set.for_each([&](std::size_t s) { acc = acc || b.is_accepting(s); });
+    return acc;
+  };
+
+  std::unordered_map<State, std::vector<DynBitset>> seen;
+
+  auto already_seen = [&](State left, const DynBitset& right) {
+    auto it = seen.find(left);
+    if (it == seen.end()) return false;
+    return std::find(it->second.begin(), it->second.end(), right) !=
+           it->second.end();
+  };
+
+  std::deque<Config> queue;
+  for (const State s : a.initial()) {
+    if (already_seen(s, b_init)) continue;
+    seen[s].push_back(b_init);
+    queue.push_back({s, b_init, {}});
+  }
+  while (!queue.empty()) {
+    Config cfg = std::move(queue.front());
+    queue.pop_front();
+    if (a.is_accepting(cfg.left) && !b_accepts_now(cfg.right)) {
+      return {false, cfg.word};
+    }
+    for (const auto& t : a.out(cfg.left)) {
+      DynBitset next_right = b.step(cfg.right, t.symbol);
+      if (already_seen(t.target, next_right)) continue;
+      seen[t.target].push_back(next_right);
+      Word w = cfg.word;
+      w.push_back(t.symbol);
+      queue.push_back({t.target, std::move(next_right), std::move(w)});
+    }
+  }
+  return {true, std::nullopt};
+}
+
+/// Antichain variant: a pair (p, S) is subsumed by (p, S') with S' ⊆ S,
+/// because any counterexample reachable from (p, S) is also reachable from
+/// (p, S') (a smaller right-hand set rejects more words).
+InclusionResult antichain_inclusion(const Nfa& a, const Nfa& b) {
+  const std::size_t nb = b.num_states();
+  DynBitset b_init(nb);
+  for (const State s : b.initial()) b_init.set(s);
+
+  auto b_accepts_now = [&](const DynBitset& set) {
+    bool acc = false;
+    set.for_each([&](std::size_t s) { acc = acc || b.is_accepting(s); });
+    return acc;
+  };
+
+  // Antichain of ⊆-minimal right-hand sets, per left-hand state.
+  std::unordered_map<State, std::vector<DynBitset>> antichain;
+
+  // Returns false when (left, right) is subsumed by an existing element;
+  // otherwise inserts it and removes elements it subsumes.
+  auto insert = [&](State left, const DynBitset& right) {
+    auto& chain = antichain[left];
+    for (const auto& existing : chain) {
+      if (existing.is_subset_of(right)) return false;
+    }
+    std::erase_if(chain,
+                  [&](const DynBitset& e) { return right.is_subset_of(e); });
+    chain.push_back(right);
+    return true;
+  };
+
+  std::deque<Config> queue;
+  for (const State s : a.initial()) {
+    if (insert(s, b_init)) queue.push_back({s, b_init, {}});
+  }
+  while (!queue.empty()) {
+    Config cfg = std::move(queue.front());
+    queue.pop_front();
+    if (a.is_accepting(cfg.left) && !b_accepts_now(cfg.right)) {
+      return {false, cfg.word};
+    }
+    for (const auto& t : a.out(cfg.left)) {
+      DynBitset next_right = b.step(cfg.right, t.symbol);
+      if (!insert(t.target, next_right)) continue;
+      Word w = cfg.word;
+      w.push_back(t.symbol);
+      queue.push_back({t.target, std::move(next_right), std::move(w)});
+    }
+  }
+  return {true, std::nullopt};
+}
+
+}  // namespace
+
+InclusionResult check_inclusion(const Nfa& a, const Nfa& b,
+                                InclusionAlgorithm algorithm) {
+  assert(a.alphabet() == b.alphabet());
+  switch (algorithm) {
+    case InclusionAlgorithm::kSubset:
+      return subset_inclusion(a, b);
+    case InclusionAlgorithm::kAntichain:
+      return antichain_inclusion(a, b);
+  }
+  return {true, std::nullopt};  // unreachable
+}
+
+bool is_included(const Nfa& a, const Nfa& b, InclusionAlgorithm algorithm) {
+  return check_inclusion(a, b, algorithm).included;
+}
+
+bool nfa_equivalent(const Nfa& a, const Nfa& b, InclusionAlgorithm algorithm) {
+  return is_included(a, b, algorithm) && is_included(b, a, algorithm);
+}
+
+}  // namespace rlv

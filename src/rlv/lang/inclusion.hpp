@@ -1,0 +1,44 @@
+#pragma once
+
+// Language inclusion L(a) ⊆ L(b) for NFAs — the engine behind the relative
+// liveness check (Lemma 4.3 reduces relative liveness to an inclusion of
+// prefix languages). Two interchangeable implementations:
+//   * subset-construction product search (the PSPACE-canonical algorithm),
+//   * the antichain algorithm of De Wulf–Doyen–Henzinger–Raskin, which keeps
+//     only ⊆-minimal subset states per left-hand state.
+// Both return a counterexample word when the inclusion fails; benches
+// compare them head-to-head (experiment E4).
+
+#include <optional>
+
+#include "rlv/lang/nfa.hpp"
+
+namespace rlv {
+
+enum class InclusionAlgorithm {
+  kSubset,
+  kAntichain,
+};
+
+struct InclusionResult {
+  bool included = false;
+  /// A word in L(a) \ L(b) when `included` is false.
+  std::optional<Word> counterexample;
+};
+
+/// Decides L(a) ⊆ L(b). Both automata must share the same alphabet object.
+[[nodiscard]] InclusionResult check_inclusion(
+    const Nfa& a, const Nfa& b,
+    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain);
+
+/// Convenience wrapper returning only the verdict.
+[[nodiscard]] bool is_included(
+    const Nfa& a, const Nfa& b,
+    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain);
+
+/// L(a) = L(b) via two inclusion checks.
+[[nodiscard]] bool nfa_equivalent(
+    const Nfa& a, const Nfa& b,
+    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain);
+
+}  // namespace rlv

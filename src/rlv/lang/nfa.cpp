@@ -1,0 +1,145 @@
+#include "rlv/lang/nfa.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rlv {
+
+State Nfa::add_state(bool accepting) {
+  const State s = static_cast<State>(accepting_.size());
+  accepting_.push_back(accepting);
+  out_.emplace_back();
+  return s;
+}
+
+void Nfa::add_transition(State from, Symbol symbol, State to) {
+  assert(from < num_states() && to < num_states());
+  assert(symbol < sigma_->size());
+  out_[from].push_back({symbol, to});
+}
+
+void Nfa::add_transition_unique(State from, Symbol symbol, State to) {
+  for (const auto& t : out_[from]) {
+    if (t.symbol == symbol && t.target == to) return;
+  }
+  add_transition(from, symbol, to);
+}
+
+std::size_t Nfa::num_transitions() const {
+  std::size_t n = 0;
+  for (const auto& edges : out_) n += edges.size();
+  return n;
+}
+
+std::vector<State> Nfa::successors(State from, Symbol symbol) const {
+  std::vector<State> result;
+  for (const auto& t : out_[from]) {
+    if (t.symbol == symbol) result.push_back(t.target);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+DynBitset Nfa::step(const DynBitset& states, Symbol symbol) const {
+  DynBitset next(num_states());
+  states.for_each([&](std::size_t s) {
+    for (const auto& t : out_[s]) {
+      if (t.symbol == symbol) next.set(t.target);
+    }
+  });
+  return next;
+}
+
+DynBitset Nfa::run(const Word& w) const {
+  DynBitset current(num_states());
+  for (const State s : initial_) current.set(s);
+  for (const Symbol a : w) {
+    if (current.none()) break;
+    current = step(current, a);
+  }
+  return current;
+}
+
+bool Nfa::accepts(const Word& w) const {
+  bool found = false;
+  run(w).for_each([&](std::size_t s) { found = found || accepting_[s]; });
+  return found;
+}
+
+DynBitset Nfa::reachable() const {
+  DynBitset seen(num_states());
+  std::vector<State> work;
+  for (const State s : initial_) {
+    if (!seen.test(s)) {
+      seen.set(s);
+      work.push_back(s);
+    }
+  }
+  while (!work.empty()) {
+    const State s = work.back();
+    work.pop_back();
+    for (const auto& t : out_[s]) {
+      if (!seen.test(t.target)) {
+        seen.set(t.target);
+        work.push_back(t.target);
+      }
+    }
+  }
+  return seen;
+}
+
+DynBitset Nfa::productive() const {
+  // Backward reachability from accepting states over reversed edges.
+  std::vector<std::vector<State>> pred(num_states());
+  for (State s = 0; s < num_states(); ++s) {
+    for (const auto& t : out_[s]) pred[t.target].push_back(s);
+  }
+  DynBitset seen(num_states());
+  std::vector<State> work;
+  for (State s = 0; s < num_states(); ++s) {
+    if (accepting_[s]) {
+      seen.set(s);
+      work.push_back(s);
+    }
+  }
+  while (!work.empty()) {
+    const State s = work.back();
+    work.pop_back();
+    for (const State p : pred[s]) {
+      if (!seen.test(p)) {
+        seen.set(p);
+        work.push_back(p);
+      }
+    }
+  }
+  return seen;
+}
+
+DynBitset Nfa::accepting_set() const {
+  DynBitset acc(num_states());
+  for (State s = 0; s < num_states(); ++s) {
+    if (accepting_[s]) acc.set(s);
+  }
+  return acc;
+}
+
+std::string Nfa::to_string() const {
+  std::string out = "NFA states=" + std::to_string(num_states()) +
+                    " transitions=" + std::to_string(num_transitions()) + "\n";
+  out += "initial:";
+  for (const State s : initial_) out += " " + std::to_string(s);
+  out += "\n";
+  for (State s = 0; s < num_states(); ++s) {
+    out += std::to_string(s);
+    if (accepting_[s]) out += "*";
+    out += ":";
+    for (const auto& t : out_[s]) {
+      out += " -" + sigma_->name(t.symbol) + "->" + std::to_string(t.target);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rlv

@@ -1,0 +1,94 @@
+#pragma once
+
+// Nondeterministic finite automata over finite words. This is the shared
+// structural representation for three roles in the paper:
+//   * acceptors of regular languages L ⊆ Σ*,
+//   * transition systems without acceptance conditions (prefix-closed L,
+//     Section 6) — every state accepting,
+//   * the finite-word skeleton of Büchi automata (rlv_omega wraps Nfa).
+//
+// States are dense uint32 ids. Transitions are stored per state; no ε-moves
+// at this layer (homomorphic images perform ε-elimination eagerly, see
+// rlv/hom/image.hpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rlv/lang/alphabet.hpp"
+#include "rlv/util/bitset.hpp"
+
+namespace rlv {
+
+using State = std::uint32_t;
+inline constexpr State kNoState = 0xffffffffU;
+
+struct Transition {
+  Symbol symbol;
+  State target;
+
+  friend bool operator==(const Transition&, const Transition&) = default;
+  friend auto operator<=>(const Transition&, const Transition&) = default;
+};
+
+class Nfa {
+ public:
+  explicit Nfa(AlphabetRef sigma) : sigma_(std::move(sigma)) {}
+
+  [[nodiscard]] const AlphabetRef& alphabet() const { return sigma_; }
+
+  /// Adds a fresh state and returns its id.
+  State add_state(bool accepting = false);
+
+  void add_transition(State from, Symbol symbol, State to);
+
+  /// Adds the transition only if not already present (linear scan; intended
+  /// for small hand-built automata and generators).
+  void add_transition_unique(State from, Symbol symbol, State to);
+
+  void set_initial(State s) { initial_.push_back(s); }
+  void set_accepting(State s, bool accepting = true) {
+    accepting_[s] = accepting;
+  }
+
+  [[nodiscard]] std::size_t num_states() const { return accepting_.size(); }
+  [[nodiscard]] std::size_t num_transitions() const;
+
+  [[nodiscard]] const std::vector<State>& initial() const { return initial_; }
+  [[nodiscard]] bool is_accepting(State s) const { return accepting_[s]; }
+  [[nodiscard]] const std::vector<Transition>& out(State s) const {
+    return out_[s];
+  }
+
+  /// Successor set of `from` under `symbol` as a sorted, deduplicated vector.
+  [[nodiscard]] std::vector<State> successors(State from, Symbol symbol) const;
+
+  /// Advances a state set by one symbol.
+  [[nodiscard]] DynBitset step(const DynBitset& states, Symbol symbol) const;
+
+  /// Set of states reached from the initial states by reading `w` (all runs).
+  [[nodiscard]] DynBitset run(const Word& w) const;
+
+  /// Classical membership test by state-set simulation.
+  [[nodiscard]] bool accepts(const Word& w) const;
+
+  /// States reachable from the initial states.
+  [[nodiscard]] DynBitset reachable() const;
+
+  /// States from which some accepting state is reachable (productive).
+  [[nodiscard]] DynBitset productive() const;
+
+  /// Bitset of the accepting states.
+  [[nodiscard]] DynBitset accepting_set() const;
+
+  /// Human-readable dump (for examples and debugging).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  AlphabetRef sigma_;
+  std::vector<std::vector<Transition>> out_;
+  std::vector<bool> accepting_;
+  std::vector<State> initial_;
+};
+
+}  // namespace rlv

@@ -1,0 +1,122 @@
+#include "rlv/ltl/eval.hpp"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+namespace rlv {
+
+namespace {
+
+/// Evaluation context over the lasso positions 0..N-1 where N = |u| + |v|;
+/// the successor of the last position is |u| (start of the loop).
+class Evaluator {
+ public:
+  Evaluator(const Word& u, const Word& v, const Labeling& lambda)
+      : lambda_(lambda), loop_start_(u.size()), n_(u.size() + v.size()) {
+    letters_.reserve(n_);
+    letters_.insert(letters_.end(), u.begin(), u.end());
+    letters_.insert(letters_.end(), v.begin(), v.end());
+  }
+
+  std::size_t succ(std::size_t i) const {
+    return (i + 1 < n_) ? i + 1 : loop_start_;
+  }
+
+  const std::vector<bool>& values(Formula f) {
+    auto it = memo_.find(f);
+    if (it != memo_.end()) return it->second;
+
+    std::vector<bool> val(n_, false);
+    switch (f.op()) {
+      case LtlOp::kTrue:
+        val.assign(n_, true);
+        break;
+      case LtlOp::kFalse:
+        break;
+      case LtlOp::kAtom:
+        for (std::size_t i = 0; i < n_; ++i) {
+          val[i] = lambda_.holds(letters_[i], f.atom_name());
+        }
+        break;
+      case LtlOp::kNot: {
+        const auto& a = values(f.left());
+        for (std::size_t i = 0; i < n_; ++i) val[i] = !a[i];
+        break;
+      }
+      case LtlOp::kAnd: {
+        const auto& a = values(f.left());
+        const auto& b = values(f.right());
+        for (std::size_t i = 0; i < n_; ++i) val[i] = a[i] && b[i];
+        break;
+      }
+      case LtlOp::kOr: {
+        const auto& a = values(f.left());
+        const auto& b = values(f.right());
+        for (std::size_t i = 0; i < n_; ++i) val[i] = a[i] || b[i];
+        break;
+      }
+      case LtlOp::kNext: {
+        const auto& a = values(f.left());
+        for (std::size_t i = 0; i < n_; ++i) val[i] = a[succ(i)];
+        break;
+      }
+      case LtlOp::kUntil: {
+        // Least fixpoint of val = b ∨ (a ∧ val∘succ): start from false,
+        // sweep backwards until stable.
+        const auto& a = values(f.left());
+        const auto& b = values(f.right());
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (std::size_t k = n_; k-- > 0;) {
+            const bool next = b[k] || (a[k] && val[succ(k)]);
+            if (next != val[k]) {
+              val[k] = next;
+              changed = true;
+            }
+          }
+        }
+        break;
+      }
+      case LtlOp::kRelease: {
+        // Greatest fixpoint of val = b ∧ (a ∨ val∘succ): start from true,
+        // sweep until stable.
+        const auto& a = values(f.left());
+        const auto& b = values(f.right());
+        val.assign(n_, true);
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (std::size_t k = n_; k-- > 0;) {
+            const bool next = b[k] && (a[k] || val[succ(k)]);
+            if (next != val[k]) {
+              val[k] = next;
+              changed = true;
+            }
+          }
+        }
+        break;
+      }
+    }
+    return memo_.emplace(f, std::move(val)).first->second;
+  }
+
+ private:
+  const Labeling& lambda_;
+  std::size_t loop_start_;
+  std::size_t n_;
+  Word letters_;
+  std::unordered_map<Formula, std::vector<bool>, FormulaHash> memo_;
+};
+
+}  // namespace
+
+bool eval_ltl(Formula f, const Word& u, const Word& v,
+              const Labeling& lambda) {
+  assert(!v.empty());
+  Evaluator ev(u, v, lambda);
+  return ev.values(f)[0];
+}
+
+}  // namespace rlv

@@ -1,0 +1,20 @@
+#pragma once
+
+// Direct semantic evaluation of PLTL formulas on ultimately periodic ω-words
+// u·v^ω (§3 semantics). Used as the ground truth that the automaton
+// translation, the T/R̄ transformation (Lemma 7.5), and the relative
+// liveness checkers are property-tested against.
+
+#include "rlv/lang/alphabet.hpp"
+#include "rlv/ltl/ast.hpp"
+
+namespace rlv {
+
+/// Evaluates `f` on the ω-word u·v^ω under labeling λ. `v` must be
+/// non-empty. Computed by fixpoint iteration on the lasso graph (least
+/// fixpoint for U, greatest for R), which is exact for LTL on a single
+/// ultimately periodic path.
+[[nodiscard]] bool eval_ltl(Formula f, const Word& u, const Word& v,
+                            const Labeling& lambda);
+
+}  // namespace rlv

@@ -1,0 +1,34 @@
+#include "rlv/ltl/patterns.hpp"
+
+namespace rlv {
+namespace patterns {
+
+Formula infinitely_often(std::string_view p) {
+  return f_always(f_eventually(f_atom(p)));
+}
+
+Formula eventually_always(std::string_view p) {
+  return f_eventually(f_always(f_atom(p)));
+}
+
+Formula response(std::string_view p, std::string_view q) {
+  return f_always(f_implies(f_atom(p), f_eventually(f_atom(q))));
+}
+
+Formula never(std::string_view p) { return f_always(f_not(f_atom(p))); }
+
+Formula precedence(std::string_view p, std::string_view q) {
+  return f_until(f_not(f_atom(q)), f_atom(p));
+}
+
+Formula precedence_weak(std::string_view p, std::string_view q) {
+  return f_or(precedence(p, q), f_always(f_not(f_atom(q))));
+}
+
+Formula alternation(std::string_view p, std::string_view q) {
+  return f_always(
+      f_implies(f_atom(p), f_next(f_until(f_not(f_atom(p)), f_atom(q)))));
+}
+
+}  // namespace patterns
+}  // namespace rlv

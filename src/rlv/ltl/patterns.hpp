@@ -1,0 +1,39 @@
+#pragma once
+
+// The common specification patterns (Dwyer et al.) as formula builders, so
+// example code and downstream users don't hand-assemble operator trees.
+// All patterns are over atom names; combine with Labeling::canonical for
+// action-based systems.
+
+#include <string_view>
+
+#include "rlv/ltl/ast.hpp"
+
+namespace rlv {
+namespace patterns {
+
+/// □◇p — p happens infinitely often (the paper's running property shape).
+[[nodiscard]] Formula infinitely_often(std::string_view p);
+
+/// ◇□p — eventually p forever (stabilization).
+[[nodiscard]] Formula eventually_always(std::string_view p);
+
+/// □(p ⇒ ◇q) — every p is followed by a q (response).
+[[nodiscard]] Formula response(std::string_view p, std::string_view q);
+
+/// □¬p — p never happens (absence / safety).
+[[nodiscard]] Formula never(std::string_view p);
+
+/// ¬q U p  — no q before the first p (precedence); also holds when q never
+/// happens... note: this is the strict version requiring p eventually. Use
+/// precedence_weak for the version allowing q-free divergence.
+[[nodiscard]] Formula precedence(std::string_view p, std::string_view q);
+
+/// (¬q U p) ∨ □¬q — q cannot happen until p has (weak precedence).
+[[nodiscard]] Formula precedence_weak(std::string_view p, std::string_view q);
+
+/// □(p ⇒ (¬p U q)) — p cannot recur before a q intervenes (alternation).
+[[nodiscard]] Formula alternation(std::string_view p, std::string_view q);
+
+}  // namespace patterns
+}  // namespace rlv

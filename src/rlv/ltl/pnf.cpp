@@ -1,0 +1,51 @@
+#include "rlv/ltl/pnf.hpp"
+
+namespace rlv {
+
+Formula to_pnf(Formula f) {
+  switch (f.op()) {
+    case LtlOp::kTrue:
+    case LtlOp::kFalse:
+    case LtlOp::kAtom:
+      return f;
+    case LtlOp::kNot:
+      return negate_pnf(f.left());
+    case LtlOp::kAnd:
+      return f_and(to_pnf(f.left()), to_pnf(f.right()));
+    case LtlOp::kOr:
+      return f_or(to_pnf(f.left()), to_pnf(f.right()));
+    case LtlOp::kNext:
+      return f_next(to_pnf(f.left()));
+    case LtlOp::kUntil:
+      return f_until(to_pnf(f.left()), to_pnf(f.right()));
+    case LtlOp::kRelease:
+      return f_release(to_pnf(f.left()), to_pnf(f.right()));
+  }
+  return f;
+}
+
+Formula negate_pnf(Formula f) {
+  switch (f.op()) {
+    case LtlOp::kTrue:
+      return f_false();
+    case LtlOp::kFalse:
+      return f_true();
+    case LtlOp::kAtom:
+      return f_not(f);
+    case LtlOp::kNot:
+      return to_pnf(f.left());
+    case LtlOp::kAnd:
+      return f_or(negate_pnf(f.left()), negate_pnf(f.right()));
+    case LtlOp::kOr:
+      return f_and(negate_pnf(f.left()), negate_pnf(f.right()));
+    case LtlOp::kNext:
+      return f_next(negate_pnf(f.left()));
+    case LtlOp::kUntil:
+      return f_release(negate_pnf(f.left()), negate_pnf(f.right()));
+    case LtlOp::kRelease:
+      return f_until(negate_pnf(f.left()), negate_pnf(f.right()));
+  }
+  return f;
+}
+
+}  // namespace rlv

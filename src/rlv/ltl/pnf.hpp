@@ -1,0 +1,16 @@
+#pragma once
+
+// Positive normal form (Definition 7.1): negations pushed to atoms using the
+// dualities ¬(ξ∧ζ)=¬ξ∨¬ζ, ¬Xξ=X¬ξ, ¬(ξUζ)=¬ξR¬ζ, ¬(ξRζ)=¬ξU¬ζ.
+
+#include "rlv/ltl/ast.hpp"
+
+namespace rlv {
+
+/// Equivalent formula in positive normal form.
+[[nodiscard]] Formula to_pnf(Formula f);
+
+/// Negation of `f`, already pushed into positive normal form.
+[[nodiscard]] Formula negate_pnf(Formula f);
+
+}  // namespace rlv

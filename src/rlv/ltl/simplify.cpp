@@ -1,0 +1,133 @@
+#include "rlv/ltl/simplify.hpp"
+
+#include <unordered_map>
+
+#include "rlv/ltl/pnf.hpp"
+
+namespace rlv {
+
+namespace {
+
+bool is_f(Formula f) {  // true U ξ
+  return f.op() == LtlOp::kUntil && f.left().op() == LtlOp::kTrue;
+}
+bool is_g(Formula f) {  // false R ξ
+  return f.op() == LtlOp::kRelease && f.left().op() == LtlOp::kFalse;
+}
+
+/// Are a and b syntactic complements (in PNF)? Pointer comparison against
+/// the pushed-in negation, cheap thanks to hash-consing.
+bool complementary(Formula a, Formula b) { return negate_pnf(a) == b; }
+
+class Simplifier {
+ public:
+  Formula run(Formula f) {
+    auto it = memo_.find(f);
+    if (it != memo_.end()) return it->second;
+    Formula result = rewrite(f);
+    // Iterate locally until stable (rules can cascade).
+    while (true) {
+      const Formula next = rewrite(result);
+      if (next == result) break;
+      result = next;
+    }
+    memo_.emplace(f, result);
+    return result;
+  }
+
+ private:
+  Formula rewrite(Formula f) {
+    switch (f.op()) {
+      case LtlOp::kTrue:
+      case LtlOp::kFalse:
+      case LtlOp::kAtom:
+      case LtlOp::kNot:
+        return f;
+      case LtlOp::kAnd: {
+        const Formula a = run(f.left());
+        const Formula b = run(f.right());
+        if (complementary(a, b)) return f_false();
+        // Absorption: a ∧ (a ∨ c) = a.
+        if (b.op() == LtlOp::kOr && (b.left() == a || b.right() == a)) return a;
+        if (a.op() == LtlOp::kOr && (a.left() == b || a.right() == b)) return b;
+        // X ξ ∧ X ζ = X(ξ ∧ ζ).
+        if (a.op() == LtlOp::kNext && b.op() == LtlOp::kNext) {
+          return f_next(run(f_and(a.left(), b.left())));
+        }
+        // G ξ ∧ G ζ = G(ξ ∧ ζ).
+        if (is_g(a) && is_g(b)) {
+          return f_always(run(f_and(a.right(), b.right())));
+        }
+        return f_and(a, b);
+      }
+      case LtlOp::kOr: {
+        const Formula a = run(f.left());
+        const Formula b = run(f.right());
+        if (complementary(a, b)) return f_true();
+        if (b.op() == LtlOp::kAnd && (b.left() == a || b.right() == a)) {
+          return a;
+        }
+        if (a.op() == LtlOp::kAnd && (a.left() == b || a.right() == b)) {
+          return b;
+        }
+        if (a.op() == LtlOp::kNext && b.op() == LtlOp::kNext) {
+          return f_next(run(f_or(a.left(), b.left())));
+        }
+        // F ξ ∨ F ζ = F(ξ ∨ ζ).
+        if (is_f(a) && is_f(b)) {
+          return f_eventually(run(f_or(a.right(), b.right())));
+        }
+        return f_or(a, b);
+      }
+      case LtlOp::kNext:
+        return f_next(run(f.left()));
+      case LtlOp::kUntil: {
+        const Formula a = run(f.left());
+        Formula b = run(f.right());
+        if (a == b) return a;  // ξ U ξ = ξ
+        // ξ U (ξ U ζ) = ξ U ζ.
+        if (b.op() == LtlOp::kUntil && b.left() == a) b = b.right();
+        if (a.op() == LtlOp::kTrue) {
+          // F F ζ = F ζ.
+          if (is_f(b)) return b;
+          // F G F ζ = G F ζ.
+          if (is_g(b) && is_f(b.right())) return b;
+        }
+        // (X ξ) U (X ζ) = X(ξ U ζ).
+        if (a.op() == LtlOp::kNext && b.op() == LtlOp::kNext) {
+          return f_next(run(f_until(a.left(), b.left())));
+        }
+        return f_until(a, b);
+      }
+      case LtlOp::kRelease: {
+        const Formula a = run(f.left());
+        Formula b = run(f.right());
+        if (a == b) return a;  // ξ R ξ = ξ
+        // ξ R (ξ R ζ) = ξ R ζ.
+        if (b.op() == LtlOp::kRelease && b.left() == a) b = b.right();
+        if (a.op() == LtlOp::kFalse) {
+          // G G ζ = G ζ.
+          if (is_g(b)) return b;
+          // G F G ζ = F G ζ.
+          if (is_f(b) && is_g(b.right())) return b;
+        }
+        if (a.op() == LtlOp::kNext && b.op() == LtlOp::kNext) {
+          return f_next(run(f_release(a.left(), b.left())));
+        }
+        return f_release(a, b);
+      }
+    }
+    return f;
+  }
+
+  std::unordered_map<Formula, Formula, FormulaHash> memo_;
+};
+
+}  // namespace
+
+Formula simplify_ltl(Formula f) {
+  Simplifier simplifier;
+  return simplifier.run(to_pnf(f));
+}
+
+}  // namespace rlv

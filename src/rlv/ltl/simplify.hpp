@@ -1,0 +1,26 @@
+#pragma once
+
+// Rewriting-based LTL simplification, applied before translation to shrink
+// the tableau. All rules are classical equivalences:
+//
+//   F F ξ = F ξ            G G ξ = G ξ           F G F ξ = G F ξ
+//   G F G ξ = F G ξ        ξ U ξ = ξ             ξ R ξ = ξ
+//   ξ U (ξ U ζ) = ξ U ζ    ξ R (ξ R ζ) = ξ R ζ
+//   X ξ ∧ X ζ = X(ξ∧ζ)     X ξ ∨ X ζ = X(ξ∨ζ)    (Xξ) U (Xζ) = X(ξ U ζ)
+//   Gξ ∧ Gζ = G(ξ∧ζ)       Fξ ∨ Fζ = F(ξ∨ζ)      (factoring direction)
+//   ξ ∧ ¬ξ = false         ξ ∨ ¬ξ = true         (¬ computed in PNF)
+//   ξ ∧ (ξ∨ζ) = ξ          ξ ∨ (ξ∧ζ) = ξ         (absorption)
+//
+// The input is brought into positive normal form first; the result is in
+// positive normal form and equivalent on every ω-word (property-tested
+// against the evaluator).
+
+#include "rlv/ltl/ast.hpp"
+
+namespace rlv {
+
+/// Simplifies to a fixpoint of the rule set. Never returns a larger
+/// formula.
+[[nodiscard]] Formula simplify_ltl(Formula f);
+
+}  // namespace rlv

@@ -1,0 +1,105 @@
+#include "rlv/ltl/transform.hpp"
+
+#include <cassert>
+
+#include "rlv/ltl/pnf.hpp"
+
+namespace rlv {
+
+namespace {
+
+Formula eps() { return f_atom(kEpsilonAtom); }
+Formula not_eps() { return f_not(f_atom(kEpsilonAtom)); }
+
+/// Wraps a pure Boolean formula: hold at the first visible position.
+Formula wrap_boolean(Formula f) {
+  return f_until(eps(), f_and(not_eps(), f));
+}
+
+Formula t_impl(Formula f, bool wrap) {
+  if (f.is_pure_boolean()) {
+    return wrap ? wrap_boolean(f) : f;
+  }
+  switch (f.op()) {
+    case LtlOp::kAnd:
+      return f_and(t_impl(f.left(), wrap), t_impl(f.right(), wrap));
+    case LtlOp::kOr:
+      return f_or(t_impl(f.left(), wrap), t_impl(f.right(), wrap));
+    case LtlOp::kNext:
+      return f_until(eps(),
+                     f_and(not_eps(), f_next(t_impl(f.left(), wrap))));
+    case LtlOp::kUntil:
+      return f_until(f_or(eps(), t_impl(f.left(), wrap)),
+                     f_and(not_eps(), t_impl(f.right(), wrap)));
+    case LtlOp::kRelease:
+      return f_release(f_and(not_eps(), t_impl(f.left(), wrap)),
+                       f_or(eps(), t_impl(f.right(), wrap)));
+    case LtlOp::kTrue:
+    case LtlOp::kFalse:
+    case LtlOp::kAtom:
+    case LtlOp::kNot:
+      // Handled by the pure-Boolean branch above (kNot only on atoms in
+      // positive normal form).
+      assert(false && "transform requires positive normal form");
+      return f;
+  }
+  return f;
+}
+
+}  // namespace
+
+Formula transform_t(Formula f) {
+  assert(f.is_positive_normal_form());
+  return t_impl(f, /*wrap=*/false);
+}
+
+Formula transform_rbar(Formula f) {
+  assert(f.is_positive_normal_form());
+  return t_impl(f, /*wrap=*/true);
+}
+
+namespace {
+
+Formula substitute_atoms(Formula f, const Labeling& lambda) {
+  switch (f.op()) {
+    case LtlOp::kTrue:
+    case LtlOp::kFalse:
+      return f;
+    case LtlOp::kAtom: {
+      // p  ↦  ⋁ { a ∈ Σ | p ∈ λ(a) }  (false when no letter carries p).
+      Formula result = f_false();
+      const AlphabetRef& sigma = lambda.alphabet();
+      for (Symbol a = 0; a < sigma->size(); ++a) {
+        if (lambda.holds(a, f.atom_name())) {
+          result = f_or(result, f_atom(sigma->name(a)));
+        }
+      }
+      return result;
+    }
+    case LtlOp::kNot:
+      return f_not(substitute_atoms(f.left(), lambda));
+    case LtlOp::kAnd:
+      return f_and(substitute_atoms(f.left(), lambda),
+                   substitute_atoms(f.right(), lambda));
+    case LtlOp::kOr:
+      return f_or(substitute_atoms(f.left(), lambda),
+                  substitute_atoms(f.right(), lambda));
+    case LtlOp::kNext:
+      return f_next(substitute_atoms(f.left(), lambda));
+    case LtlOp::kUntil:
+      return f_until(substitute_atoms(f.left(), lambda),
+                     substitute_atoms(f.right(), lambda));
+    case LtlOp::kRelease:
+      return f_release(substitute_atoms(f.left(), lambda),
+                       substitute_atoms(f.right(), lambda));
+  }
+  return f;
+}
+
+}  // namespace
+
+Formula to_sigma_normal_form(Formula f, const Labeling& lambda) {
+  return to_pnf(substitute_atoms(f, lambda));
+}
+
+}  // namespace rlv

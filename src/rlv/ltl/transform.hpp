@@ -1,0 +1,52 @@
+#pragma once
+
+// The property transformation of Section 7: reinterpreting a formula η that
+// was established on the abstract alphabet Σ' over words on the concrete
+// alphabet Σ, where an abstracting homomorphism h : Σ → Σ' ∪ {ε} renames
+// letters and hides some of them (maps them to ε).
+//
+// Concrete words are labeled by λ_hΣΣ' (Definition 7.3): letter a carries
+// the single proposition h(a), which is the distinguished proposition ε
+// (kEpsilonAtom here) when a is hidden. The transformation T (Definition
+// 7.4) rewires the temporal operators to skip ε-positions:
+//
+//   T(X ξ)    =  ε U (¬ε ∧ X T(ξ))
+//   T(ξ U ζ)  =  (ε ∨ T(ξ)) U (¬ε ∧ T(ζ))
+//   T(ξ R ζ)  =  (¬ε ∧ T(ξ)) R (ε ∨ T(ζ))
+//   T homomorphic on ∧, ∨; identity on pure Boolean subformulas.
+//
+// R̄(η) is T(η) with every maximal pure Boolean subformula ξ_b replaced by
+// ε U (¬ε ∧ ξ_b). Deviation from the paper (documented in DESIGN.md): the
+// paper's Definition 7.4 wraps with ε U ξ_b; for a *negative* literal ¬q
+// that version is already true at a hidden position (whose label {ε} does
+// not contain q), breaking Lemma 7.5 — the ¬ε conjunct restores it and is
+// equivalent on positive atoms.
+//
+// With this, Lemma 7.5 holds:  L'_ω,λ_Σ' ⊨ η  ⟺  h⁻¹(L'_ω),λ_hΣΣ' ⊨ R̄(η),
+// which tests/test_ltl_transform.cpp validates by random sampling.
+
+#include "rlv/ltl/ast.hpp"
+
+namespace rlv {
+
+/// The distinguished proposition standing for "this letter is hidden by the
+/// homomorphism" (the paper's ε). ASCII to stay parser-friendly.
+inline constexpr std::string_view kEpsilonAtom = "eps";
+
+/// The paper's T (Definition 7.4), without the Boolean wrapping. Input must
+/// be in positive normal form over Σ'-atoms.
+[[nodiscard]] Formula transform_t(Formula f);
+
+/// The paper's R̄: T plus wrapping of maximal pure Boolean subformulas.
+/// This is the formula to check on the concrete system. Input must be in
+/// positive normal form.
+[[nodiscard]] Formula transform_rbar(Formula f);
+
+/// The remark after Definition 7.2: for any formula η over atoms AP and any
+/// labeling λ : Σ → 2^AP there is a Σ-normal-form formula η' (atoms ⊆ Σ,
+/// interpreted under the canonical λ_Σ) with x,λ ⊨ η ⟺ x,λ_Σ ⊨ η' for all
+/// x ∈ Σ^ω. Constructed by substituting every atom p with the disjunction
+/// of the letters at which p holds.
+[[nodiscard]] Formula to_sigma_normal_form(Formula f, const Labeling& lambda);
+
+}  // namespace rlv

@@ -1,0 +1,31 @@
+#pragma once
+
+// LTL → Büchi translation via the tableau construction of Gerth–Peled–
+// Vardi–Wolper (GPVW), producing a generalized Büchi automaton (one
+// acceptance set per Until subformula) that is then degeneralized.
+//
+// The automaton runs over an alphabet Σ: a letter a satisfies an atom p of
+// the formula iff p ∈ λ(a) for the given labeling λ. With the canonical
+// Σ-labeling this realizes the paper's Σ-normal-form interpretation; with a
+// homomorphism labeling λ_hΣΣ' it interprets transformed formulas R̄(η) over
+// the concrete alphabet (§7).
+
+#include "rlv/ltl/ast.hpp"
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv {
+
+/// Büchi automaton for { x ∈ Σ^ω | x,λ ⊨ f }. The formula is converted to
+/// positive normal form internally.
+[[nodiscard]] Buchi translate_ltl(Formula f, const Labeling& lambda);
+
+/// Büchi automaton for the complement property { x | x,λ ⊭ f }: translation
+/// of the pushed-in negation. Cheaper and far smaller than rank-based
+/// complementation of translate_ltl(f).
+[[nodiscard]] Buchi translate_ltl_negated(Formula f, const Labeling& lambda);
+
+/// The generalized (pre-degeneralization) automaton, exposed for tests and
+/// size benchmarks.
+[[nodiscard]] GenBuchi translate_ltl_gen(Formula f, const Labeling& lambda);
+
+}  // namespace rlv

@@ -1,0 +1,58 @@
+#include "rlv/omega/buchi.hpp"
+
+#include <cassert>
+
+namespace rlv {
+
+Buchi degeneralize(const GenBuchi& gba) {
+  const std::size_t n = gba.structure.num_states();
+  const std::size_t k = gba.sets.size();
+
+  Buchi result(gba.structure.alphabet());
+  if (k == 0) {
+    // Every infinite run accepts: mark all states accepting.
+    for (State s = 0; s < n; ++s) result.add_state(true);
+    for (State s = 0; s < n; ++s) {
+      for (const auto& t : gba.structure.out(s)) {
+        result.add_transition(s, t.symbol, t.target);
+      }
+    }
+    for (const State s : gba.structure.initial()) result.set_initial(s);
+    return result;
+  }
+
+  // State (s, level) means: waiting to see acceptance sets level..k-1; level
+  // k is the "all seen" flag level whose states are accepting and reset to
+  // level 0 on the next step.
+  auto id = [&](State s, std::size_t level) -> State {
+    return static_cast<State>(level * n + s);
+  };
+  for (std::size_t level = 0; level <= k; ++level) {
+    for (State s = 0; s < n; ++s) {
+      result.add_state(level == k);
+    }
+  }
+  for (std::size_t level = 0; level <= k; ++level) {
+    const std::size_t base = (level == k) ? 0 : level;
+    for (State s = 0; s < n; ++s) {
+      for (const auto& t : gba.structure.out(s)) {
+        // Advance through every set the *target* state satisfies, starting
+        // from `base` (state-based sets: membership of the visited state).
+        std::size_t next_level = base;
+        while (next_level < k && gba.sets[next_level].test(t.target)) {
+          ++next_level;
+        }
+        result.add_transition(id(s, level), t.symbol, id(t.target, next_level));
+      }
+    }
+  }
+  for (const State s : gba.structure.initial()) {
+    // The initial level accounts for sets the initial state itself satisfies.
+    std::size_t level = 0;
+    while (level < k && gba.sets[level].test(s)) ++level;
+    result.set_initial(id(s, level));
+  }
+  return result;
+}
+
+}  // namespace rlv

@@ -1,0 +1,166 @@
+#include "rlv/omega/complement.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace rlv {
+
+namespace {
+
+// A complement state: ranking (-1 = undefined / state absent) plus the
+// obligation set, encoded into one vector for map keys (O bits appended).
+using Key = std::vector<std::int32_t>;
+
+struct Builder {
+  const Buchi& a;
+  std::size_t n;
+  std::int32_t max_rank;
+  Buchi result;
+  std::map<Key, State> ids;
+  std::vector<Key> pending;
+  State sink = kNoState;
+
+  explicit Builder(const Buchi& input)
+      : a(input),
+        n(input.num_states()),
+        max_rank(static_cast<std::int32_t>(2 * input.num_states())),
+        result(input.alphabet()) {}
+
+  State intern(const Key& key) {
+    auto [it, inserted] = ids.emplace(key, kNoState);
+    if (inserted) {
+      // Accepting iff the obligation set (second half of the key) is empty.
+      bool obligations = false;
+      for (std::size_t q = 0; q < n; ++q) {
+        obligations = obligations || (key[n + q] != 0);
+      }
+      it->second = result.add_state(!obligations);
+      pending.push_back(key);
+    }
+    return it->second;
+  }
+
+  State accepting_sink() {
+    if (sink == kNoState) {
+      sink = result.add_state(true);
+      for (Symbol c = 0; c < a.alphabet()->size(); ++c) {
+        result.add_transition(sink, c, sink);
+      }
+    }
+    return sink;
+  }
+
+  /// Enumerates all successor rankings of `key` under `symbol` and adds the
+  /// corresponding transitions.
+  void expand(const Key& key, Symbol symbol) {
+    const State from = ids.at(key);
+
+    // Successor domain and per-state rank bounds.
+    std::vector<std::int32_t> bound(n, -1);
+    bool any = false;
+    for (std::size_t q = 0; q < n; ++q) {
+      if (key[q] < 0) continue;
+      for (const auto& t : a.out(static_cast<State>(q))) {
+        if (t.symbol != symbol) continue;
+        any = true;
+        if (bound[t.target] < 0 || key[q] < bound[t.target]) {
+          bound[t.target] = key[q];
+        }
+      }
+    }
+    if (!any) {
+      // No run survives: every continuation is outside L(a).
+      result.add_transition(from, symbol, accepting_sink());
+      return;
+    }
+
+    // Obligation propagation: states reached from O under `symbol`.
+    DynBitset o_next(n);
+    bool o_empty = true;
+    for (std::size_t q = 0; q < n; ++q) {
+      if (key[n + q] == 0) continue;
+      o_empty = false;
+      for (const auto& t : a.out(static_cast<State>(q))) {
+        if (t.symbol == symbol) o_next.set(t.target);
+      }
+    }
+
+    // Recursive enumeration of rankings g with g(q') in [0, bound(q')],
+    // even on accepting states.
+    std::vector<std::size_t> domain;
+    for (std::size_t q = 0; q < n; ++q) {
+      if (bound[q] >= 0) domain.push_back(q);
+    }
+    Key g(2 * n, -1);
+    for (std::size_t q = 0; q < n; ++q) g[n + q] = 0;
+
+    auto emit = [&]() {
+      // O' = (O nonempty ? δ(O) : D') restricted to even-g states.
+      for (std::size_t q = 0; q < n; ++q) g[n + q] = 0;
+      for (const std::size_t q : domain) {
+        if (g[q] % 2 != 0) continue;
+        const bool carried = o_empty ? true : o_next.test(q);
+        if (carried) g[n + q] = 1;
+      }
+      result.add_transition(from, symbol, intern(g));
+    };
+
+    // Iterative odometer over the domain ranks.
+    std::vector<std::int32_t> step(domain.size());
+    for (std::size_t i = 0; i < domain.size(); ++i) {
+      const std::size_t q = domain[i];
+      g[q] = 0;
+      step[i] = a.is_accepting(static_cast<State>(q)) ? 2 : 1;
+    }
+    while (true) {
+      emit();
+      std::size_t i = 0;
+      for (; i < domain.size(); ++i) {
+        const std::size_t q = domain[i];
+        g[q] += step[i];
+        if (g[q] <= bound[q]) break;
+        g[q] = 0;
+      }
+      if (i == domain.size()) break;
+    }
+  }
+};
+
+}  // namespace
+
+Buchi complement_buchi(const Buchi& a) {
+  Builder b(a);
+
+  Key init(2 * a.num_states(), -1);
+  for (std::size_t q = 0; q < a.num_states(); ++q) init[a.num_states() + q] = 0;
+  bool has_initial = false;
+  for (const State q : a.initial()) {
+    init[q] = b.max_rank;
+    has_initial = true;
+  }
+  if (!has_initial) {
+    // L(a) = ∅: complement is Σ^ω.
+    Buchi all(a.alphabet());
+    const State s = all.add_state(true);
+    for (Symbol c = 0; c < a.alphabet()->size(); ++c) {
+      all.add_transition(s, c, s);
+    }
+    all.set_initial(s);
+    return all;
+  }
+  b.result.set_initial(b.intern(init));
+
+  while (!b.pending.empty()) {
+    const Key key = std::move(b.pending.back());
+    b.pending.pop_back();
+    for (Symbol c = 0; c < a.alphabet()->size(); ++c) {
+      b.expand(key, c);
+    }
+  }
+  return std::move(b.result);
+}
+
+}  // namespace rlv

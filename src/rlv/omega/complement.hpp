@@ -1,0 +1,21 @@
+#pragma once
+
+// Complementation of nondeterministic Büchi automata via the rank-based
+// construction of Kupferman & Vardi. Needed when a property P is given as an
+// automaton (not a formula) and the relative-safety check (Lemma 4.4)
+// requires ¬P. Exponential by necessity; fine for the moderate property
+// automata of this library's use cases.
+
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv {
+
+/// Büchi automaton for Σ^ω \ L_ω(a).
+///
+/// States are pairs (f, O) of a level ranking f : Q → {0..2n} ∪ {⊥} (odd
+/// ranks forbidden on accepting states) and an obligation set O of
+/// even-ranked states; a run accepts iff O empties infinitely often. Words
+/// all of whose runs die are routed to an accepting sink.
+[[nodiscard]] Buchi complement_buchi(const Buchi& a);
+
+}  // namespace rlv

@@ -1,0 +1,190 @@
+#include "rlv/omega/emptiness.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "rlv/omega/live.hpp"
+#include "rlv/util/scc.hpp"
+
+namespace rlv {
+
+namespace {
+
+bool empty_scc(const Buchi& a) { return omega_empty(a); }
+
+/// Nested DFS (CVWY). The blue search explores the automaton; from the
+/// postorder visit of every accepting state, the red search looks for a
+/// cycle back onto the blue stack.
+bool empty_ndfs(const Buchi& a) {
+  const std::size_t n = a.num_states();
+  std::vector<bool> blue(n, false);
+  std::vector<bool> red(n, false);
+  std::vector<bool> on_stack(n, false);
+
+  struct Frame {
+    State state;
+    std::size_t edge;
+  };
+
+  // Red search from `seed`: true iff it can reach a state on the blue stack.
+  auto red_search = [&](State seed) {
+    std::vector<Frame> stack;
+    if (!red[seed]) {
+      red[seed] = true;
+      stack.push_back({seed, 0});
+    }
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.edge < a.out(f.state).size()) {
+        const State t = a.out(f.state)[f.edge++].target;
+        if (on_stack[t]) return true;
+        if (!red[t]) {
+          red[t] = true;
+          stack.push_back({t, 0});
+        }
+      } else {
+        stack.pop_back();
+      }
+    }
+    return false;
+  };
+
+  for (const State init : a.initial()) {
+    if (blue[init]) continue;
+    std::vector<Frame> stack;
+    blue[init] = true;
+    on_stack[init] = true;
+    stack.push_back({init, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.edge < a.out(f.state).size()) {
+        const State t = a.out(f.state)[f.edge++].target;
+        if (!blue[t]) {
+          blue[t] = true;
+          on_stack[t] = true;
+          stack.push_back({t, 0});
+        }
+      } else {
+        // Postorder: run the red search from accepting states. The state is
+        // still on the stack, so a red path back to it closes a cycle.
+        if (a.is_accepting(f.state)) {
+          if (red_search(f.state)) return false;
+        }
+        on_stack[f.state] = false;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool buchi_empty(const Buchi& a, EmptinessAlgorithm algorithm) {
+  switch (algorithm) {
+    case EmptinessAlgorithm::kScc:
+      return empty_scc(a);
+    case EmptinessAlgorithm::kNestedDfs:
+      return empty_ndfs(a);
+  }
+  return true;  // unreachable
+}
+
+std::optional<Lasso> find_accepting_lasso(const Buchi& a) {
+  const std::size_t n = a.num_states();
+  const DynBitset live = live_states(a);
+
+  // Recompute accepting SCCs to aim the prefix at an accepting state inside
+  // a non-trivial SCC.
+  std::vector<std::vector<std::uint32_t>> succ(n);
+  for (State s = 0; s < n; ++s) {
+    for (const auto& t : a.out(s)) succ[s].push_back(t.target);
+  }
+  const SccResult scc = tarjan_scc(succ);
+
+  auto is_anchor = [&](State s) {
+    return a.is_accepting(s) && scc.nontrivial[scc.component[s]] &&
+           live.test(s);
+  };
+
+  // BFS from initial states to the nearest anchor, recording parent edges.
+  std::vector<std::pair<State, Symbol>> parent(n, {kNoState, 0});
+  std::vector<bool> seen(n, false);
+  std::queue<State> queue;
+  for (const State s : a.initial()) {
+    if (!seen[s]) {
+      seen[s] = true;
+      queue.push(s);
+    }
+  }
+  State anchor = kNoState;
+  while (!queue.empty()) {
+    const State s = queue.front();
+    queue.pop();
+    if (is_anchor(s)) {
+      anchor = s;
+      break;
+    }
+    for (const auto& t : a.out(s)) {
+      if (!seen[t.target]) {
+        seen[t.target] = true;
+        parent[t.target] = {s, t.symbol};
+        queue.push(t.target);
+      }
+    }
+  }
+  if (anchor == kNoState) return std::nullopt;
+
+  Word prefix;
+  for (State s = anchor; parent[s].first != kNoState; s = parent[s].first) {
+    prefix.push_back(parent[s].second);
+  }
+  std::reverse(prefix.begin(), prefix.end());
+
+  // BFS within the anchor's SCC for a non-empty cycle anchor -> anchor.
+  const std::uint32_t comp = scc.component[anchor];
+  std::vector<std::pair<State, Symbol>> cyc_parent(n, {kNoState, 0});
+  std::vector<bool> cyc_seen(n, false);
+  std::queue<State> cq;
+  // Seed with anchor's in-SCC successors so the cycle is non-empty.
+  State closer = kNoState;
+  for (const auto& t : a.out(anchor)) {
+    if (scc.component[t.target] != comp) continue;
+    if (t.target == anchor) {
+      // Self-loop: period is a single symbol.
+      return Lasso{std::move(prefix), {t.symbol}};
+    }
+    if (!cyc_seen[t.target]) {
+      cyc_seen[t.target] = true;
+      cyc_parent[t.target] = {anchor, t.symbol};
+      cq.push(t.target);
+    }
+  }
+  while (!cq.empty() && closer == kNoState) {
+    const State s = cq.front();
+    cq.pop();
+    for (const auto& t : a.out(s)) {
+      if (scc.component[t.target] != comp) continue;
+      if (t.target == anchor) {
+        closer = s;
+        Word period;
+        period.push_back(t.symbol);
+        for (State v = s; cyc_parent[v].first != kNoState;
+             v = cyc_parent[v].first) {
+          period.push_back(cyc_parent[v].second);
+        }
+        std::reverse(period.begin(), period.end());
+        return Lasso{std::move(prefix), std::move(period)};
+      }
+      if (!cyc_seen[t.target]) {
+        cyc_seen[t.target] = true;
+        cyc_parent[t.target] = {s, t.symbol};
+        cq.push(t.target);
+      }
+    }
+  }
+  return std::nullopt;  // unreachable for a live anchor
+}
+
+}  // namespace rlv

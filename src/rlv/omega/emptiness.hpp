@@ -1,0 +1,35 @@
+#pragma once
+
+// Büchi emptiness checking and accepting-lasso extraction. Two independent
+// implementations — SCC-based (Tarjan) and the nested depth-first search of
+// Courcoubetis–Vardi–Wolper–Yannakakis — cross-checked in tests and compared
+// in bench_emptiness (experiment E12).
+
+#include <optional>
+#include <utility>
+
+#include "rlv/lang/alphabet.hpp"
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv {
+
+/// An ultimately periodic ω-word u·v^ω as a (prefix, period) pair; the
+/// period `v` is never empty for a valid lasso.
+struct Lasso {
+  Word prefix;
+  Word period;
+};
+
+enum class EmptinessAlgorithm {
+  kScc,
+  kNestedDfs,
+};
+
+/// True when L_ω(a) = ∅.
+[[nodiscard]] bool buchi_empty(
+    const Buchi& a, EmptinessAlgorithm algorithm = EmptinessAlgorithm::kScc);
+
+/// An accepted lasso u·v^ω when the language is non-empty.
+[[nodiscard]] std::optional<Lasso> find_accepting_lasso(const Buchi& a);
+
+}  // namespace rlv

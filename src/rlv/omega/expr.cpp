@@ -1,0 +1,83 @@
+#include "rlv/omega/expr.hpp"
+
+#include <cassert>
+
+#include "rlv/omega/live.hpp"
+
+namespace rlv {
+
+namespace {
+
+/// Adds the V-phase (anchor + V states) to `result`, returning the anchor.
+/// `v_offset` receives the base index of V's states inside `result`.
+State add_v_phase(Buchi& result, const Nfa& v, State* v_offset) {
+  const State anchor = result.add_state(true);
+  const State base = static_cast<State>(result.num_states());
+  *v_offset = base;
+  for (State s = 0; s < v.num_states(); ++s) {
+    result.add_state(false);
+  }
+  // Internal edges; edges into V-accepting states also jump to the anchor
+  // ("this V-word may end here").
+  for (State s = 0; s < v.num_states(); ++s) {
+    for (const auto& t : v.out(s)) {
+      result.add_transition(base + s, t.symbol, base + t.target);
+      if (v.is_accepting(t.target)) {
+        result.add_transition(base + s, t.symbol, anchor);
+      }
+    }
+  }
+  // Anchor behaves like (all) V-initial states. ε ∈ L(v) would allow empty
+  // iterations, making V^ω ill-defined here.
+  for (const State i : v.initial()) {
+    assert(!v.is_accepting(i) && "omega iteration requires ε ∉ L(v)");
+    for (const auto& t : v.out(i)) {
+      result.add_transition(anchor, t.symbol, base + t.target);
+      if (v.is_accepting(t.target)) {
+        result.add_transition(anchor, t.symbol, anchor);
+      }
+    }
+  }
+  return anchor;
+}
+
+}  // namespace
+
+Buchi omega_power(const Nfa& v) {
+  Buchi result(v.alphabet());
+  State v_offset = 0;
+  const State anchor = add_v_phase(result, v, &v_offset);
+  result.set_initial(anchor);
+  return trim_omega(result);
+}
+
+Buchi omega_iteration(const Nfa& u, const Nfa& v) {
+  assert(u.alphabet() == v.alphabet());
+  Buchi result(u.alphabet());
+  State v_offset = 0;
+  const State anchor = add_v_phase(result, v, &v_offset);
+
+  // U phase.
+  const State u_base = static_cast<State>(result.num_states());
+  for (State s = 0; s < u.num_states(); ++s) {
+    result.add_state(false);
+  }
+  for (State s = 0; s < u.num_states(); ++s) {
+    for (const auto& t : u.out(s)) {
+      result.add_transition(u_base + s, t.symbol, u_base + t.target);
+      // Finishing a U word = standing at the anchor.
+      if (u.is_accepting(t.target)) {
+        result.add_transition(u_base + s, t.symbol, anchor);
+      }
+    }
+  }
+  bool epsilon_in_u = false;
+  for (const State i : u.initial()) {
+    result.set_initial(u_base + i);
+    epsilon_in_u = epsilon_in_u || u.is_accepting(i);
+  }
+  if (epsilon_in_u) result.set_initial(anchor);
+  return trim_omega(result);
+}
+
+}  // namespace rlv

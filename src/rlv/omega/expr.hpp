@@ -1,0 +1,23 @@
+#pragma once
+
+// ω-regular expression combinators: every ω-regular language is a finite
+// union of U·V^ω with regular U, V (Büchi's theorem); this module provides
+// the ω-iteration construction so properties can be built from finite-word
+// automata (and hence from the lang/ops.hpp regular operations) without
+// writing LTL.
+
+#include "rlv/lang/nfa.hpp"
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv {
+
+/// Büchi automaton for L(u)·L(v)^ω. Requires ε ∉ L(v) (asserted). Uses the
+/// anchor construction: a distinguished accepting state is entered exactly
+/// when one V-word completes, so accepting runs are exactly the
+/// u·v₁·v₂·... decompositions.
+[[nodiscard]] Buchi omega_iteration(const Nfa& u, const Nfa& v);
+
+/// Büchi automaton for L(v)^ω alone (ε ∉ L(v)).
+[[nodiscard]] Buchi omega_power(const Nfa& v);
+
+}  // namespace rlv

@@ -1,0 +1,195 @@
+#include "rlv/omega/lasso.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "rlv/util/scc.hpp"
+
+namespace rlv {
+
+bool accepts_lasso(const Buchi& a, const Word& u, const Word& v) {
+  assert(!v.empty());
+  const std::size_t n = a.num_states();
+
+  // States reachable after reading u (over all runs).
+  const DynBitset after_u = a.structure().run(u);
+  if (after_u.none()) return false;
+
+  // v-step relation with acceptance flag: edge p -> q when some run of v
+  // from p ends in q; flagged when some such run visits an accepting state
+  // (the acceptance of intermediate states *and* of q and p itself count —
+  // visiting p at the loop point happens infinitely often too).
+  //
+  // Computed by per-source BFS over (automaton state, position in v) with a
+  // "seen accepting" bit.
+  struct Edge {
+    State target;
+    bool accepting;
+  };
+  std::vector<std::vector<Edge>> rel(n);
+  const std::size_t m = v.size();
+  const DynBitset acc_mask = a.structure().accepting_set();
+  for (State p = 0; p < n; ++p) {
+    // DP over positions: reachable[i][q][f] — implemented as two bitsets per
+    // position layer (f = 0/1).
+    DynBitset cur0(n);
+    DynBitset cur1(n);
+    if (a.is_accepting(p)) {
+      cur1.set(p);
+    } else {
+      cur0.set(p);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      DynBitset next0 = a.structure().step(cur0, v[i]);
+      DynBitset next1 = a.structure().step(cur1, v[i]);
+      // Entering an accepting state upgrades the flag.
+      DynBitset upgraded = next0;
+      upgraded &= acc_mask;
+      next0 -= acc_mask;
+      next1 |= upgraded;
+      cur0 = std::move(next0);
+      cur1 = std::move(next1);
+    }
+    cur0.for_each([&](std::size_t q) {
+      rel[p].push_back({static_cast<State>(q), false});
+    });
+    cur1.for_each([&](std::size_t q) {
+      rel[p].push_back({static_cast<State>(q), true});
+    });
+  }
+
+  // Find an SCC of the v-relation graph, reachable from `after_u`, that
+  // contains an internal accepting-flagged edge.
+  std::vector<std::vector<std::uint32_t>> succ(n);
+  for (State p = 0; p < n; ++p) {
+    for (const Edge& e : rel[p]) succ[p].push_back(e.target);
+  }
+  const SccResult scc = tarjan_scc(succ);
+
+  std::vector<bool> scc_has_acc_edge(scc.count, false);
+  for (State p = 0; p < n; ++p) {
+    for (const Edge& e : rel[p]) {
+      if (e.accepting && scc.component[p] == scc.component[e.target]) {
+        scc_has_acc_edge[scc.component[p]] = true;
+      }
+    }
+  }
+
+  // Forward reachability from after_u over the v-relation.
+  DynBitset reach(n);
+  std::vector<State> work;
+  after_u.for_each([&](std::size_t s) {
+    reach.set(s);
+    work.push_back(static_cast<State>(s));
+  });
+  while (!work.empty()) {
+    const State s = work.back();
+    work.pop_back();
+    if (scc_has_acc_edge[scc.component[s]]) return true;
+    for (const std::uint32_t t : succ[s]) {
+      if (!reach.test(t)) {
+        reach.set(t);
+        work.push_back(t);
+      }
+    }
+  }
+  return false;
+}
+
+bool accepts_lasso_gen(const GenBuchi& a, const Word& u, const Word& v) {
+  assert(!v.empty());
+  const std::size_t n = a.structure.num_states();
+  const std::size_t k = a.sets.size();
+  assert(k <= 16 && "mask-based membership supports up to 16 sets");
+  const std::uint32_t full = (k == 0) ? 0 : ((1u << k) - 1);
+
+  const DynBitset after_u = a.structure.run(u);
+  if (after_u.none()) return false;
+  if (k == 0) {
+    // Any infinite run accepts; check a run of v^ω exists via the plain
+    // relation reachability below with trivial masks.
+  }
+
+  auto state_mask = [&](std::size_t s) {
+    std::uint32_t mask = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (a.sets[i].test(s)) mask |= (1u << i);
+    }
+    return mask;
+  };
+
+  // v-step relation with visited-sets mask.
+  struct Edge {
+    State target;
+    std::uint32_t mask;
+  };
+  std::vector<std::vector<Edge>> rel(n);
+  const std::size_t m = v.size();
+  for (State p = 0; p < n; ++p) {
+    // Layered BFS over (state, mask).
+    std::vector<std::vector<std::uint32_t>> cur(n);
+    cur[p].push_back(state_mask(p));
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<std::vector<std::uint32_t>> next(n);
+      std::vector<std::uint32_t> seen_stamp(n * (full + 1), 0);
+      for (State s = 0; s < n; ++s) {
+        if (cur[s].empty()) continue;
+        for (const auto& t : a.structure.out(s)) {
+          if (t.symbol != v[i]) continue;
+          const std::uint32_t add = state_mask(t.target);
+          for (const std::uint32_t mask : cur[s]) {
+            const std::uint32_t nm = mask | add;
+            std::uint32_t& stamp = seen_stamp[t.target * (full + 1) + nm];
+            if (stamp) continue;
+            stamp = 1;
+            next[t.target].push_back(nm);
+          }
+        }
+      }
+      cur = std::move(next);
+    }
+    for (State q = 0; q < n; ++q) {
+      for (const std::uint32_t mask : cur[q]) rel[p].push_back({q, mask});
+    }
+  }
+
+  // SCCs of the relation graph; an SCC accepts when the union of its
+  // internal edge masks covers every set.
+  std::vector<std::vector<std::uint32_t>> succ(n);
+  for (State p = 0; p < n; ++p) {
+    for (const Edge& e : rel[p]) succ[p].push_back(e.target);
+  }
+  const SccResult scc = tarjan_scc(succ);
+  std::vector<std::uint32_t> covered(scc.count, 0);
+  std::vector<bool> has_internal(scc.count, false);
+  for (State p = 0; p < n; ++p) {
+    for (const Edge& e : rel[p]) {
+      if (scc.component[p] == scc.component[e.target]) {
+        covered[scc.component[p]] |= e.mask;
+        has_internal[scc.component[p]] = true;
+      }
+    }
+  }
+
+  DynBitset reach(n);
+  std::vector<State> work;
+  after_u.for_each([&](std::size_t s) {
+    reach.set(s);
+    work.push_back(static_cast<State>(s));
+  });
+  while (!work.empty()) {
+    const State s = work.back();
+    work.pop_back();
+    const std::uint32_t c = scc.component[s];
+    if (has_internal[c] && (covered[c] & full) == full) return true;
+    for (const std::uint32_t t : succ[s]) {
+      if (!reach.test(t)) {
+        reach.set(t);
+        work.push_back(static_cast<State>(t));
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace rlv

@@ -1,0 +1,25 @@
+#pragma once
+
+// Membership of ultimately periodic words u·v^ω in Büchi automata. This is
+// the workhorse of the property-based test suites: ω-language constructions
+// (products, complements, limits, LTL translations) are cross-validated by
+// sampling lassos and comparing membership verdicts.
+
+#include "rlv/omega/buchi.hpp"
+#include "rlv/omega/emptiness.hpp"
+
+namespace rlv {
+
+/// True when the automaton accepts u·v^ω. `v` must be non-empty.
+[[nodiscard]] bool accepts_lasso(const Buchi& a, const Word& u, const Word& v);
+
+[[nodiscard]] inline bool accepts_lasso(const Buchi& a, const Lasso& lasso) {
+  return accepts_lasso(a, lasso.prefix, lasso.period);
+}
+
+/// Generalized-Büchi membership of u·v^ω: some run visits every acceptance
+/// set infinitely often. Used to cross-check degeneralization.
+[[nodiscard]] bool accepts_lasso_gen(const GenBuchi& a, const Word& u,
+                                     const Word& v);
+
+}  // namespace rlv

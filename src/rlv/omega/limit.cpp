@@ -1,0 +1,35 @@
+#include "rlv/omega/limit.hpp"
+
+#include <cassert>
+
+#include "rlv/lang/ops.hpp"
+#include "rlv/omega/live.hpp"
+
+namespace rlv {
+
+Buchi limit_of_prefix_closed(const Nfa& nfa) {
+  // All states accepting => the Büchi language is the set of words with an
+  // infinite run; trim_omega removes states without infinite continuation.
+  Nfa structure = trim(nfa);
+  for (State s = 0; s < structure.num_states(); ++s) {
+    assert(structure.is_accepting(s) &&
+           "limit_of_prefix_closed expects an all-accepting automaton");
+    structure.set_accepting(s, true);
+  }
+  return trim_omega(Buchi::from_structure(std::move(structure)));
+}
+
+Buchi limit_via_determinization(const Nfa& nfa) {
+  const Dfa dfa = determinize(nfa);
+  return limit_general(dfa.to_nfa());
+}
+
+Buchi limit_general(const Nfa& nfa) {
+  // For deterministic automata, x ∈ lim(L) iff the unique run of x passes
+  // through accepting states infinitely often — a Büchi condition. (This
+  // equivalence needs determinism; hence the subset construction first.)
+  const Dfa dfa = determinize(nfa);
+  return trim_omega(Buchi::from_structure(dfa.to_nfa()));
+}
+
+}  // namespace rlv

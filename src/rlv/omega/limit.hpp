@@ -1,0 +1,31 @@
+#pragma once
+
+// The limit operator (Definition in §3): lim(L) = { x ∈ Σ^ω | infinitely
+// many prefixes of x lie in L }. For a prefix-closed regular language L —
+// the behaviors of the paper's transition systems (Definition 6.2) — lim(L)
+// is exactly the set of infinite runs of any trim automaton for L in which
+// every state is accepting (König's lemma gives the converse inclusion, cf.
+// Lemma 8.1's proof).
+
+#include "rlv/lang/dfa.hpp"
+#include "rlv/lang/nfa.hpp"
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv {
+
+/// Büchi automaton for lim(L(nfa)), where L(nfa) must be prefix-closed and
+/// every state of `nfa` accepting (callers typically pass the result of
+/// prefix_language or prefix_nfa). All states of the result are accepting;
+/// states without infinite continuation are removed.
+[[nodiscard]] Buchi limit_of_prefix_closed(const Nfa& nfa);
+
+/// Same, computed on the determinized automaton. Slower; used to cross-check
+/// the direct construction in tests.
+[[nodiscard]] Buchi limit_via_determinization(const Nfa& nfa);
+
+/// General limit for an *arbitrary* regular L (not necessarily
+/// prefix-closed): lim(L) is ω-regular; built from the determinized
+/// automaton with the DFA-accepting states as the Büchi set.
+[[nodiscard]] Buchi limit_general(const Nfa& nfa);
+
+}  // namespace rlv

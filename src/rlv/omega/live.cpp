@@ -1,0 +1,92 @@
+#include "rlv/omega/live.hpp"
+
+#include <vector>
+
+#include "rlv/util/scc.hpp"
+
+namespace rlv {
+
+DynBitset live_states(const Buchi& a) {
+  const std::size_t n = a.num_states();
+  std::vector<std::vector<std::uint32_t>> succ(n);
+  for (State s = 0; s < n; ++s) {
+    for (const auto& t : a.out(s)) succ[s].push_back(t.target);
+  }
+  const SccResult scc = tarjan_scc(succ);
+
+  // An SCC is *accepting* when it is non-trivial (has an internal edge) and
+  // contains a Büchi-accepting state.
+  std::vector<bool> accepting_scc(scc.count, false);
+  for (State s = 0; s < n; ++s) {
+    if (a.is_accepting(s) && scc.nontrivial[scc.component[s]]) {
+      accepting_scc[scc.component[s]] = true;
+    }
+  }
+
+  // Live = can reach an accepting SCC: backward reachability.
+  std::vector<std::vector<std::uint32_t>> pred(n);
+  for (State s = 0; s < n; ++s) {
+    for (const auto& t : a.out(s)) pred[t.target].push_back(s);
+  }
+  DynBitset live(n);
+  std::vector<State> work;
+  for (State s = 0; s < n; ++s) {
+    if (accepting_scc[scc.component[s]]) {
+      live.set(s);
+      work.push_back(s);
+    }
+  }
+  while (!work.empty()) {
+    const State s = work.back();
+    work.pop_back();
+    for (const std::uint32_t p : pred[s]) {
+      if (!live.test(p)) {
+        live.set(p);
+        work.push_back(p);
+      }
+    }
+  }
+  return live;
+}
+
+Buchi trim_omega(const Buchi& a) {
+  DynBitset keep = a.structure().reachable();
+  keep &= live_states(a);
+
+  Buchi result(a.alphabet());
+  std::vector<State> remap(a.num_states(), kNoState);
+  for (State s = 0; s < a.num_states(); ++s) {
+    if (keep.test(s)) remap[s] = result.add_state(a.is_accepting(s));
+  }
+  for (State s = 0; s < a.num_states(); ++s) {
+    if (!keep.test(s)) continue;
+    for (const auto& t : a.out(s)) {
+      if (keep.test(t.target)) {
+        result.add_transition(remap[s], t.symbol, remap[t.target]);
+      }
+    }
+  }
+  for (const State s : a.initial()) {
+    if (keep.test(s)) result.set_initial(remap[s]);
+  }
+  return result;
+}
+
+Nfa prefix_nfa(const Buchi& a) {
+  Nfa result = trim_omega(a).structure();
+  for (State s = 0; s < result.num_states(); ++s) {
+    result.set_accepting(s, true);
+  }
+  return result;
+}
+
+bool omega_empty(const Buchi& a) {
+  const DynBitset live = live_states(a);
+  for (const State s : a.initial()) {
+    // Initial states must also be reachable-from-initial, trivially true.
+    if (live.test(s)) return false;
+  }
+  return true;
+}
+
+}  // namespace rlv

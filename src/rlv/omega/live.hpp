@@ -1,0 +1,27 @@
+#pragma once
+
+// Live states and the prefix language pre(L_ω) of a Büchi automaton.
+//
+// A state is *live* when some accepting run starts from it. The prefix
+// language pre(L_ω(A)) — central to Lemma 4.3 — is the finite-word language
+// of A restricted to reachable live states, with every such state accepting.
+
+#include "rlv/lang/nfa.hpp"
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv {
+
+/// States from which an accepting run exists (regardless of reachability).
+[[nodiscard]] DynBitset live_states(const Buchi& a);
+
+/// Removes states that are unreachable or not live. The ω-language is
+/// unchanged. (The paper calls a Büchi automaton in this form "reduced".)
+[[nodiscard]] Buchi trim_omega(const Buchi& a);
+
+/// NFA accepting pre(L_ω(A)) = the finite prefixes of accepted ω-words.
+[[nodiscard]] Nfa prefix_nfa(const Buchi& a);
+
+/// True when L_ω(A) = ∅ — convenience alias for emptiness via live states.
+[[nodiscard]] bool omega_empty(const Buchi& a);
+
+}  // namespace rlv

@@ -1,0 +1,86 @@
+#include "rlv/omega/product.hpp"
+
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rlv/util/hash.hpp"
+
+namespace rlv {
+
+GenBuchi product_gen(const Buchi& a, const Buchi& b) {
+  assert(a.alphabet() == b.alphabet());
+  GenBuchi result(a.alphabet());
+
+  std::unordered_map<std::pair<State, State>, State, PairHash> ids;
+  std::vector<std::pair<State, State>> worklist;
+  std::vector<std::pair<State, State>> states;
+  auto intern = [&](State p, State q) -> State {
+    auto [it, inserted] = ids.emplace(std::make_pair(p, q), kNoState);
+    if (inserted) {
+      it->second = result.structure.add_state(false);
+      worklist.emplace_back(p, q);
+      states.emplace_back(p, q);
+    }
+    return it->second;
+  };
+
+  for (const State p : a.initial()) {
+    for (const State q : b.initial()) {
+      result.structure.set_initial(intern(p, q));
+    }
+  }
+  while (!worklist.empty()) {
+    const auto [p, q] = worklist.back();
+    worklist.pop_back();
+    const State from = ids.at({p, q});
+    for (const auto& ta : a.out(p)) {
+      for (const auto& tb : b.out(q)) {
+        if (ta.symbol != tb.symbol) continue;
+        result.structure.add_transition(from, ta.symbol,
+                                        intern(ta.target, tb.target));
+      }
+    }
+  }
+
+  const std::size_t n = result.structure.num_states();
+  DynBitset fa(n);
+  DynBitset fb(n);
+  for (State s = 0; s < n; ++s) {
+    if (a.is_accepting(states[s].first)) fa.set(s);
+    if (b.is_accepting(states[s].second)) fb.set(s);
+  }
+  result.sets.push_back(std::move(fa));
+  result.sets.push_back(std::move(fb));
+  return result;
+}
+
+Buchi intersect_buchi(const Buchi& a, const Buchi& b) {
+  return degeneralize(product_gen(a, b));
+}
+
+Buchi union_buchi(const Buchi& a, const Buchi& b) {
+  assert(a.alphabet() == b.alphabet());
+  Buchi result(a.alphabet());
+  for (State s = 0; s < a.num_states(); ++s) {
+    result.add_state(a.is_accepting(s));
+  }
+  const State offset = static_cast<State>(a.num_states());
+  for (State s = 0; s < b.num_states(); ++s) {
+    result.add_state(b.is_accepting(s));
+  }
+  for (State s = 0; s < a.num_states(); ++s) {
+    for (const auto& t : a.out(s)) result.add_transition(s, t.symbol, t.target);
+  }
+  for (State s = 0; s < b.num_states(); ++s) {
+    for (const auto& t : b.out(s)) {
+      result.add_transition(offset + s, t.symbol, offset + t.target);
+    }
+  }
+  for (const State s : a.initial()) result.set_initial(s);
+  for (const State s : b.initial()) result.set_initial(offset + s);
+  return result;
+}
+
+}  // namespace rlv

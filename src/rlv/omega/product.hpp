@@ -1,0 +1,23 @@
+#pragma once
+
+// Büchi intersection. L_ω ∩ P — the right-hand side of the Lemma 4.3
+// characterization — is computed as a generalized-Büchi product (one
+// acceptance set per operand) followed by degeneralization. The reachable
+// part only is constructed.
+
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv {
+
+/// Büchi automaton for L_ω(a) ∩ L_ω(b). Both operands must share the same
+/// alphabet object.
+[[nodiscard]] Buchi intersect_buchi(const Buchi& a, const Buchi& b);
+
+/// Generalized-Büchi product, exposed for tests and for callers that want to
+/// keep the two acceptance sets separate.
+[[nodiscard]] GenBuchi product_gen(const Buchi& a, const Buchi& b);
+
+/// Disjoint union: L_ω(a) ∪ L_ω(b).
+[[nodiscard]] Buchi union_buchi(const Buchi& a, const Buchi& b);
+
+}  // namespace rlv

@@ -1,0 +1,134 @@
+#include "rlv/omega/reduce.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rlv {
+
+std::vector<bool> direct_simulation(const Buchi& a) {
+  const std::size_t n = a.num_states();
+  const std::size_t sigma = a.alphabet()->size();
+
+  // Per state and symbol: sorted successor list.
+  std::vector<std::vector<std::vector<State>>> succ(
+      n, std::vector<std::vector<State>>(sigma));
+  for (State s = 0; s < n; ++s) {
+    for (const auto& t : a.out(s)) succ[s][t.symbol].push_back(t.target);
+  }
+
+  // sim[q*n+p]: p simulates q. Initialize with the acceptance condition and
+  // refine to the greatest fixpoint.
+  std::vector<bool> sim(n * n, false);
+  for (State q = 0; q < n; ++q) {
+    for (State p = 0; p < n; ++p) {
+      sim[q * n + p] = !a.is_accepting(q) || a.is_accepting(p);
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (State q = 0; q < n; ++q) {
+      for (State p = 0; p < n; ++p) {
+        if (!sim[q * n + p]) continue;
+        // Every q-move must be matched by some p-move to a simulator.
+        bool ok = true;
+        for (Symbol c = 0; c < sigma && ok; ++c) {
+          for (const State qt : succ[q][c]) {
+            bool matched = false;
+            for (const State pt : succ[p][c]) {
+              if (sim[qt * n + pt]) {
+                matched = true;
+                break;
+              }
+            }
+            if (!matched) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (!ok) {
+          sim[q * n + p] = false;
+          changed = true;
+        }
+      }
+    }
+  }
+  return sim;
+}
+
+Buchi reduce_buchi(const Buchi& a) {
+  const std::size_t n = a.num_states();
+  if (n == 0) return a;
+  const std::vector<bool> sim = direct_simulation(a);
+
+  // Equivalence classes of mutual simulation; representative = smallest id.
+  std::vector<State> rep(n);
+  for (State q = 0; q < n; ++q) {
+    rep[q] = q;
+    for (State p = 0; p < q; ++p) {
+      if (sim[q * n + p] && sim[p * n + q]) {
+        rep[q] = rep[p];
+        break;
+      }
+    }
+  }
+
+  std::vector<State> remap(n, kNoState);
+  Buchi result(a.alphabet());
+  for (State q = 0; q < n; ++q) {
+    if (rep[q] == q) remap[q] = result.add_state(a.is_accepting(q));
+  }
+
+  // Transitions from representatives, with little-brother pruning: drop
+  // q --a--> t when some q --a--> t' has t' strictly simulating t.
+  for (State q = 0; q < n; ++q) {
+    if (rep[q] != q) continue;
+    for (Symbol c = 0; c < a.alphabet()->size(); ++c) {
+      std::vector<State> targets;
+      for (const auto& t : a.out(q)) {
+        if (t.symbol == c) targets.push_back(t.target);
+      }
+      for (const State t : targets) {
+        bool dominated = false;
+        for (const State other : targets) {
+          if (rep[other] == rep[t]) continue;
+          if (sim[t * n + other]) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) {
+          result.structure().add_transition_unique(remap[rep[q]], c,
+                                                   remap[rep[t]]);
+        }
+      }
+    }
+  }
+
+  // Initial states: keep simulation-maximal representatives.
+  std::vector<State> initials;
+  for (const State s : a.initial()) initials.push_back(s);
+  std::sort(initials.begin(), initials.end());
+  initials.erase(std::unique(initials.begin(), initials.end()),
+                 initials.end());
+  std::vector<State> chosen;
+  for (const State s : initials) {
+    bool dominated = false;
+    for (const State other : initials) {
+      if (rep[other] == rep[s]) continue;
+      if (sim[s * n + other]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) chosen.push_back(remap[rep[s]]);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+  for (const State s : chosen) result.set_initial(s);
+  return result;
+}
+
+}  // namespace rlv

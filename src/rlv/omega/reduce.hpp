@@ -1,0 +1,27 @@
+#pragma once
+
+// Simulation-based size reduction of Büchi automata. Direct simulation
+// (Dill–Hu–Wong-Toi style): state p simulates q when p is accepting
+// whenever q is, and every move of q can be matched by a move of p into a
+// simulating state. Quotienting by mutual direct simulation preserves the
+// ω-language exactly; little-brother transitions (a-moves to a state
+// strictly simulated by another a-successor of the same source) can be
+// pruned on top.
+//
+// Applied to the GPVW output before products, this shrinks the automata the
+// relative liveness/safety checkers work on (bench_reduction quantifies by
+// how much).
+
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv {
+
+/// The direct-simulation preorder: result[q*n + p] iff p simulates q.
+/// Computed by greatest-fixpoint refinement in O(n^2 · m) time.
+[[nodiscard]] std::vector<bool> direct_simulation(const Buchi& a);
+
+/// Quotient by mutual direct simulation, with little-brother edge pruning.
+/// The ω-language is unchanged.
+[[nodiscard]] Buchi reduce_buchi(const Buchi& a);
+
+}  // namespace rlv

@@ -1,0 +1,69 @@
+#pragma once
+
+// Streett automata with *edge-based* acceptance pairs, and their emptiness
+// check (recursive SCC restriction, Emerson–Lei style). A run is accepting
+// iff for every pair (E, F): if it traverses an E-edge infinitely often, it
+// traverses an F-edge infinitely often.
+//
+// This is the engine behind strong-fairness reasoning: strong transition
+// fairness — "every transition enabled infinitely often is taken infinitely
+// often" — is one Streett pair per transition (E = all edges leaving the
+// transition's source, F = the transition itself), see rlv/fair/fairness.hpp
+// and the validation of Theorem 5.1.
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "rlv/lang/nfa.hpp"
+#include "rlv/omega/emptiness.hpp"
+
+namespace rlv {
+
+/// Flat edge id: edges are numbered in order of (source state, out index).
+using EdgeId = std::uint32_t;
+
+struct StreettPair {
+  DynBitset antecedent;  // E: sized to the number of edges
+  DynBitset goal;        // F
+};
+
+class StreettAutomaton {
+ public:
+  explicit StreettAutomaton(Nfa structure);
+
+  [[nodiscard]] const Nfa& structure() const { return structure_; }
+  [[nodiscard]] std::size_t num_edges() const { return edge_source_.size(); }
+
+  /// Source state / transition of an edge id.
+  [[nodiscard]] State edge_source(EdgeId e) const { return edge_source_[e]; }
+  [[nodiscard]] const Transition& edge(EdgeId e) const {
+    return structure_.out(edge_source_[e])[edge_index_[e]];
+  }
+
+  /// First edge id of state `s`; edges of `s` are contiguous.
+  [[nodiscard]] EdgeId first_edge(State s) const { return edge_offset_[s]; }
+
+  void add_pair(StreettPair pair) { pairs_.push_back(std::move(pair)); }
+  [[nodiscard]] const std::vector<StreettPair>& pairs() const { return pairs_; }
+
+  /// An empty antecedent/goal bitset of the right size, for building pairs.
+  [[nodiscard]] DynBitset edge_set() const { return DynBitset(num_edges()); }
+
+ private:
+  Nfa structure_;
+  std::vector<State> edge_source_;
+  std::vector<std::uint32_t> edge_index_;
+  std::vector<EdgeId> edge_offset_;
+  std::vector<StreettPair> pairs_;
+};
+
+/// True when some run from an initial state satisfies every Streett pair.
+[[nodiscard]] bool streett_nonempty(const StreettAutomaton& a);
+
+/// A witness lasso whose period traverses every edge of a fair SCC (hence
+/// satisfies every pair), when one exists.
+[[nodiscard]] std::optional<Lasso> find_fair_lasso(const StreettAutomaton& a);
+
+}  // namespace rlv

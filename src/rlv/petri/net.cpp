@@ -1,0 +1,69 @@
+#include "rlv/petri/net.hpp"
+
+#include <cassert>
+
+namespace rlv {
+
+PlaceId PetriNet::add_place(std::string_view name,
+                            std::uint32_t initial_tokens) {
+  const PlaceId p = static_cast<PlaceId>(place_names_.size());
+  place_names_.emplace_back(name);
+  initial_.push_back(initial_tokens);
+  return p;
+}
+
+TransId PetriNet::add_transition(std::string_view label) {
+  const TransId t = static_cast<TransId>(labels_.size());
+  labels_.emplace_back(label);
+  inputs_.emplace_back();
+  outputs_.emplace_back();
+  reads_.emplace_back();
+  return t;
+}
+
+void PetriNet::add_input(TransId t, PlaceId p, std::uint32_t weight) {
+  assert(t < num_transitions() && p < num_places());
+  inputs_[t].push_back({p, weight});
+}
+
+void PetriNet::add_output(TransId t, PlaceId p, std::uint32_t weight) {
+  assert(t < num_transitions() && p < num_places());
+  outputs_[t].push_back({p, weight});
+}
+
+void PetriNet::add_read(TransId t, PlaceId p, std::uint32_t weight) {
+  assert(t < num_transitions() && p < num_places());
+  reads_[t].push_back({p, weight});
+}
+
+bool PetriNet::enabled(TransId t, const Marking& m) const {
+  for (const Arc& arc : inputs_[t]) {
+    if (m[arc.place] < arc.weight) return false;
+  }
+  for (const Arc& arc : reads_[t]) {
+    if (m[arc.place] < arc.weight) return false;
+  }
+  return true;
+}
+
+Marking PetriNet::fire(TransId t, const Marking& m) const {
+  assert(enabled(t, m));
+  Marking next = m;
+  for (const Arc& arc : inputs_[t]) next[arc.place] -= arc.weight;
+  for (const Arc& arc : outputs_[t]) next[arc.place] += arc.weight;
+  return next;
+}
+
+std::vector<TransId> PetriNet::enabled_transitions(const Marking& m) const {
+  std::vector<TransId> result;
+  for (TransId t = 0; t < num_transitions(); ++t) {
+    if (enabled(t, m)) result.push_back(t);
+  }
+  return result;
+}
+
+bool PetriNet::is_deadlock(const Marking& m) const {
+  return enabled_transitions(m).empty();
+}
+
+}  // namespace rlv

@@ -1,0 +1,83 @@
+#pragma once
+
+// Place/transition Petri nets — the modeling substrate of the paper's
+// Section 2 example (Figure 1). Weighted arcs, integer markings, standard
+// firing rule. Reachability graphs (Figure 2) are built in
+// rlv/petri/reachability.hpp and feed directly into the behavior-abstraction
+// pipeline as prefix-closed transition systems.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlv {
+
+using PlaceId = std::uint32_t;
+using TransId = std::uint32_t;
+
+/// A marking assigns a token count to every place.
+using Marking = std::vector<std::uint32_t>;
+
+class PetriNet {
+ public:
+  struct Arc {
+    PlaceId place;
+    std::uint32_t weight;
+  };
+
+  PlaceId add_place(std::string_view name, std::uint32_t initial_tokens = 0);
+
+  /// Adds a transition whose firing is observed as action `label`. Distinct
+  /// transitions may share a label.
+  TransId add_transition(std::string_view label);
+
+  /// Arc place → transition (consumed tokens).
+  void add_input(TransId t, PlaceId p, std::uint32_t weight = 1);
+  /// Arc transition → place (produced tokens).
+  void add_output(TransId t, PlaceId p, std::uint32_t weight = 1);
+  /// Read arc: requires `weight` tokens in `p` without consuming them.
+  void add_read(TransId t, PlaceId p, std::uint32_t weight = 1);
+
+  [[nodiscard]] std::size_t num_places() const { return place_names_.size(); }
+  [[nodiscard]] std::size_t num_transitions() const { return labels_.size(); }
+  [[nodiscard]] const std::string& place_name(PlaceId p) const {
+    return place_names_[p];
+  }
+  [[nodiscard]] const std::string& label(TransId t) const { return labels_[t]; }
+
+  [[nodiscard]] const Marking& initial_marking() const { return initial_; }
+
+  /// Is `t` enabled at marking `m`?
+  [[nodiscard]] bool enabled(TransId t, const Marking& m) const;
+
+  /// Fires `t` at `m` (must be enabled) and returns the successor marking.
+  [[nodiscard]] Marking fire(TransId t, const Marking& m) const;
+
+  /// All transitions enabled at `m`.
+  [[nodiscard]] std::vector<TransId> enabled_transitions(const Marking& m) const;
+
+  /// True when no transition is enabled at `m`.
+  [[nodiscard]] bool is_deadlock(const Marking& m) const;
+
+  /// Arc inspection (consumed / produced / read-only), e.g. for rendering.
+  [[nodiscard]] const std::vector<Arc>& inputs(TransId t) const {
+    return inputs_[t];
+  }
+  [[nodiscard]] const std::vector<Arc>& outputs(TransId t) const {
+    return outputs_[t];
+  }
+  [[nodiscard]] const std::vector<Arc>& reads(TransId t) const {
+    return reads_[t];
+  }
+
+ private:
+  std::vector<std::string> place_names_;
+  Marking initial_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<Arc>> inputs_;   // per transition
+  std::vector<std::vector<Arc>> outputs_;  // per transition
+  std::vector<std::vector<Arc>> reads_;    // per transition
+};
+
+}  // namespace rlv

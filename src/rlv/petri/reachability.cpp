@@ -1,0 +1,54 @@
+#include "rlv/petri/reachability.hpp"
+
+#include <map>
+#include <queue>
+
+namespace rlv {
+
+ReachabilityGraph build_reachability_graph(const PetriNet& net,
+                                           const ReachabilityOptions& options) {
+  auto sigma = std::make_shared<Alphabet>();
+  std::vector<Symbol> label_symbol(net.num_transitions());
+  for (TransId t = 0; t < net.num_transitions(); ++t) {
+    label_symbol[t] = sigma->intern(net.label(t));
+  }
+
+  ReachabilityGraph graph{Nfa(sigma), {}, {}, true};
+
+  std::map<Marking, State> ids;
+  std::queue<Marking> worklist;
+
+  auto intern = [&](const Marking& m) -> std::optional<State> {
+    auto it = ids.find(m);
+    if (it != ids.end()) return it->second;
+    if (graph.markings.size() >= options.max_states) {
+      graph.complete = false;
+      return std::nullopt;
+    }
+    const State s = graph.system.add_state(true);
+    ids.emplace(m, s);
+    graph.markings.push_back(m);
+    worklist.push(m);
+    return s;
+  };
+
+  const auto initial = intern(net.initial_marking());
+  if (initial) graph.system.set_initial(*initial);
+
+  while (!worklist.empty()) {
+    const Marking m = std::move(worklist.front());
+    worklist.pop();
+    const State from = ids.at(m);
+    const auto enabled = net.enabled_transitions(m);
+    if (enabled.empty()) graph.deadlocks.push_back(from);
+    for (const TransId t : enabled) {
+      const Marking next = net.fire(t, m);
+      const auto to = intern(next);
+      if (!to) continue;  // state budget exhausted
+      graph.system.add_transition(from, label_symbol[t], *to);
+    }
+  }
+  return graph;
+}
+
+}  // namespace rlv

@@ -1,0 +1,39 @@
+#pragma once
+
+// Reachability-graph construction: unfolds a Petri net into the finite-state
+// transition system of its firing sequences (the paper's Figure 1 → Figure 2
+// step). The result is a prefix-closed, all-accepting automaton over the
+// alphabet of transition labels — exactly the "system whose behaviors are
+// the limit of a prefix-closed regular language" of Definition 6.2.
+
+#include <optional>
+#include <vector>
+
+#include "rlv/lang/nfa.hpp"
+#include "rlv/petri/net.hpp"
+
+namespace rlv {
+
+struct ReachabilityGraph {
+  /// Transition system: all states accepting; state 0 is the initial
+  /// marking. Symbols are the net's transition labels.
+  Nfa system;
+  /// The marking of each state.
+  std::vector<Marking> markings;
+  /// States with no enabled transition.
+  std::vector<State> deadlocks;
+  /// False when exploration hit `max_states` before exhausting the state
+  /// space (net unbounded or too large).
+  bool complete = true;
+};
+
+struct ReachabilityOptions {
+  std::size_t max_states = 1u << 20;
+};
+
+/// Builds the reachability graph; `system`'s alphabet contains the distinct
+/// transition labels in first-use order.
+[[nodiscard]] ReachabilityGraph build_reachability_graph(
+    const PetriNet& net, const ReachabilityOptions& options = {});
+
+}  // namespace rlv

@@ -1,0 +1,148 @@
+#pragma once
+
+// Dynamic bitset tuned for automata algorithms: fixed size chosen at
+// construction, word-level boolean operations, subset tests, and iteration
+// over set bits. Used for state sets in subset constructions, antichains,
+// and SCC bookkeeping.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rlv {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+
+  /// Creates a bitset holding `size` bits, all clear.
+  explicit DynBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1U;
+  }
+
+  void set(std::size_t i) { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
+
+  void reset(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void assign(std::size_t i, bool value) {
+    if (value) {
+      set(i);
+    } else {
+      reset(i);
+    }
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (auto w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool none() const { return !any(); }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  DynBitset& operator|=(const DynBitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  DynBitset& operator&=(const DynBitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  /// Removes every bit that is set in `other`.
+  DynBitset& operator-=(const DynBitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= ~other.words_[i];
+    }
+    return *this;
+  }
+
+  /// True when this set is a subset of `other`.
+  [[nodiscard]] bool is_subset_of(const DynBitset& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// True when the two sets share at least one element.
+  [[nodiscard]] bool intersects(const DynBitset& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const DynBitset& a, const DynBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Lexicographic order on the word representation; gives a total order
+  /// usable as a map key.
+  friend bool operator<(const DynBitset& a, const DynBitset& b) {
+    if (a.size_ != b.size_) return a.size_ < b.size_;
+    return a.words_ < b.words_;
+  }
+
+  /// Calls `fn(index)` for every set bit in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        fn(wi * 64 + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Index of the lowest set bit, or `size()` when empty.
+  [[nodiscard]] std::size_t first() const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      if (words_[wi] != 0) {
+        return wi * 64 + static_cast<std::size_t>(std::countr_zero(words_[wi]));
+      }
+    }
+    return size_;
+  }
+
+  [[nodiscard]] std::size_t hash() const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ size_;
+    for (auto w : words_) {
+      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct DynBitsetHash {
+  std::size_t operator()(const DynBitset& b) const { return b.hash(); }
+};
+
+}  // namespace rlv

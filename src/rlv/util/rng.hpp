@@ -1,0 +1,45 @@
+#pragma once
+
+// Deterministic random number generation for tests, benchmarks, and workload
+// generators. SplitMix64 is small, fast, and reproducible across platforms;
+// we deliberately avoid std::mt19937 distribution differences by implementing
+// bounded sampling ourselves.
+
+#include <cstdint>
+
+namespace rlv {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (SplitMix64).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). `bound` must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Multiply-shift mapping on the top 32 bits; bias is negligible for the
+    // bounds used in this project (all far below 2^32).
+    return (static_cast<std::uint64_t>(next_u64() >> 32) * bound) >> 32;
+  }
+
+  /// Bernoulli draw with probability `num / den`.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return next_below(den) < num;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rlv

@@ -1,0 +1,79 @@
+#include "rlv/util/scc.hpp"
+
+#include <algorithm>
+
+namespace rlv {
+
+SccResult tarjan_scc(const std::vector<std::vector<std::uint32_t>>& succ) {
+  const std::uint32_t n = static_cast<std::uint32_t>(succ.size());
+  constexpr std::uint32_t kUndef = 0xffffffffU;
+
+  SccResult result;
+  result.component.assign(n, kUndef);
+
+  std::vector<std::uint32_t> index(n, kUndef);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> stack;
+  stack.reserve(n);
+
+  struct Frame {
+    std::uint32_t node;
+    std::uint32_t edge;  // next successor index to visit
+  };
+  std::vector<Frame> call_stack;
+  std::uint32_t next_index = 0;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUndef) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const std::uint32_t v = frame.node;
+      if (frame.edge < succ[v].size()) {
+        const std::uint32_t w = succ[v][frame.edge++];
+        if (index[w] == kUndef) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          const std::uint32_t comp = result.count++;
+          std::uint32_t w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component[w] = comp;
+          } while (w != v);
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const std::uint32_t parent = call_stack.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  // Tarjan emits components in reverse topological order already.
+  result.nontrivial.assign(result.count, false);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (const std::uint32_t w : succ[v]) {
+      if (result.component[v] == result.component[w]) {
+        result.nontrivial[result.component[v]] = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rlv

@@ -1,0 +1,27 @@
+#pragma once
+
+// Tarjan strongly-connected-component decomposition over a plain adjacency
+// list. Components are numbered in reverse topological order (a component's
+// id is larger than the ids of components it can reach). Iterative
+// implementation: automata in this project routinely have deep DFS stacks.
+
+#include <cstdint>
+#include <vector>
+
+namespace rlv {
+
+struct SccResult {
+  /// Component id per node; ids are dense in [0, count).
+  std::vector<std::uint32_t> component;
+  std::uint32_t count = 0;
+  /// True when the component has at least one internal edge (i.e. it is a
+  /// non-trivial SCC or a single node with a self-loop).
+  std::vector<bool> nontrivial;
+};
+
+/// Decomposes the directed graph given by `succ` (adjacency list, nodes
+/// 0..succ.size()-1) into strongly connected components.
+[[nodiscard]] SccResult tarjan_scc(
+    const std::vector<std::vector<std::uint32_t>>& succ);
+
+}  // namespace rlv

@@ -1,0 +1,91 @@
+// Wide randomized cross-validation on a 3-letter alphabet — larger letter
+// counts exercise code paths (letter-compatibility in the tableau, subset
+// constructions, homomorphism merging) that the 2-letter suites cannot.
+// Every check compares two independent implementations.
+
+#include <gtest/gtest.h>
+
+#include "rlv/core/relative.hpp"
+#include "rlv/gen/random.hpp"
+#include "rlv/lang/inclusion.hpp"
+#include "rlv/lang/ops.hpp"
+#include "rlv/ltl/eval.hpp"
+#include "rlv/ltl/pnf.hpp"
+#include "rlv/ltl/simplify.hpp"
+#include "rlv/ltl/translate.hpp"
+#include "rlv/omega/complement.hpp"
+#include "rlv/omega/lasso.hpp"
+#include "rlv/omega/limit.hpp"
+#include "rlv/omega/live.hpp"
+#include "rlv/omega/product.hpp"
+#include "rlv/omega/reduce.hpp"
+#include "rlv/util/rng.hpp"
+
+namespace rlv {
+namespace {
+
+class Cross3 : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Cross3() : sigma_(random_alphabet(3)) {}
+
+  AlphabetRef sigma_;
+};
+
+TEST_P(Cross3, TranslationAgreesWithEvaluator) {
+  Rng rng(GetParam() * 40009 + 1);
+  const std::vector<std::string> atoms = {sigma_->name(0), sigma_->name(1),
+                                          sigma_->name(2)};
+  const Formula f = random_formula(rng, atoms, 4);
+  const Labeling lambda = Labeling::canonical(sigma_);
+  const Buchi automaton = translate_ltl(f, lambda);
+  const Buchi reduced = reduce_buchi(automaton);
+  const Formula simplified = simplify_ltl(f);
+  for (int i = 0; i < 20; ++i) {
+    const auto [u, v] = random_lasso(rng, sigma_, 3, 4);
+    const bool truth = eval_ltl(f, u, v, lambda);
+    EXPECT_EQ(truth, accepts_lasso(automaton, u, v)) << f.to_string();
+    EXPECT_EQ(truth, accepts_lasso(reduced, u, v)) << f.to_string();
+    EXPECT_EQ(truth, eval_ltl(simplified, u, v, lambda)) << f.to_string();
+  }
+}
+
+TEST_P(Cross3, ComplementationOnThreeLetters) {
+  Rng rng(GetParam() * 29989 + 3);
+  const Buchi buchi = random_buchi(rng, 2 + rng.next_below(2), sigma_);
+  const Buchi comp = complement_buchi(buchi);
+  EXPECT_TRUE(omega_empty(intersect_buchi(buchi, comp)));
+  for (int i = 0; i < 10; ++i) {
+    const auto [u, v] = random_lasso(rng, sigma_, 2, 3);
+    EXPECT_NE(accepts_lasso(buchi, u, v), accepts_lasso(comp, u, v));
+  }
+}
+
+TEST_P(Cross3, MinimizationAndInclusionOnThreeLetters) {
+  Rng rng(GetParam() * 15671 + 9);
+  const Nfa x = random_nfa(rng, 3 + rng.next_below(3), sigma_);
+  const Nfa y = random_nfa(rng, 3 + rng.next_below(3), sigma_);
+  const Dfa mx = minimize(determinize(x));
+  EXPECT_TRUE(nfa_equivalent(x, mx.to_nfa()));
+  EXPECT_EQ(is_included(x, y, InclusionAlgorithm::kSubset),
+            is_included(x, y, InclusionAlgorithm::kAntichain));
+}
+
+TEST_P(Cross3, RelativeChecksTheoremFourSeven) {
+  Rng rng(GetParam() * 104651 + 21);
+  const Nfa ts = random_transition_system(rng, 2 + rng.next_below(3), sigma_);
+  if (ts.num_states() == 0) return;
+  const Buchi system = limit_of_prefix_closed(ts);
+  const Labeling lambda = Labeling::canonical(sigma_);
+  const Formula f = random_formula(
+      rng, {sigma_->name(0), sigma_->name(1), sigma_->name(2)}, 2);
+  EXPECT_EQ(satisfies(system, f, lambda),
+            relative_liveness(system, f, lambda).holds &&
+                relative_safety(system, f, lambda).holds)
+      << f.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Cross3,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace rlv

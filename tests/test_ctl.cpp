@@ -1,0 +1,149 @@
+// Tests for the CTL checker (rlv/ctl) and the bridge the paper's §9 points
+// to: the ∀□∃◇ shape AG EF can(a) coincides with relative liveness of □◇⟨a⟩
+// on transition systems.
+
+#include <gtest/gtest.h>
+
+#include "rlv/core/relative.hpp"
+#include "rlv/ctl/ctl.hpp"
+#include "rlv/gen/families.hpp"
+#include "rlv/gen/random.hpp"
+#include "rlv/ltl/ast.hpp"
+#include "rlv/omega/limit.hpp"
+#include "rlv/util/rng.hpp"
+
+namespace rlv {
+namespace {
+
+TEST(CtlParser, RoundTripShapes) {
+  EXPECT_EQ(parse_ctl("AG EF can(result)"),
+            c_ag(c_ef(c_can("result"))));
+  EXPECT_EQ(parse_ctl("E[can(a) U deadlock]"),
+            c_eu(c_can("a"), c_deadlock()));
+  EXPECT_EQ(parse_ctl("A[true U can(x)]"), c_au(c_true(), c_can("x")));
+  EXPECT_EQ(parse_ctl("!can(a) && (EX can(b) || deadlock)"),
+            c_and(c_not(c_can("a")),
+                  c_or(c_ex(c_can("b")), c_deadlock())));
+  EXPECT_THROW((void)parse_ctl("EF"), std::runtime_error);
+  EXPECT_THROW((void)parse_ctl("can(a"), std::runtime_error);
+}
+
+TEST(Ctl, BasicsOnFigure2) {
+  const Nfa fig2 = figure2_system();
+  EXPECT_TRUE(ctl_holds(fig2, parse_ctl("AG EF can(result)")));
+  EXPECT_TRUE(ctl_holds(fig2, parse_ctl("AG EF can(reject)")));
+  EXPECT_TRUE(ctl_holds(fig2, parse_ctl("EF can(yes)")));
+  EXPECT_FALSE(ctl_holds(fig2, parse_ctl("AG can(request)")));
+  EXPECT_TRUE(ctl_holds(fig2, parse_ctl("AG !deadlock")));
+  // From the initial state, a yes can be reached without ever locking?
+  // E[!can(free) U can(yes)]: can(free) only in locked states, so stay free
+  // until yes — possible: request then yes.
+  EXPECT_TRUE(ctl_holds(fig2, parse_ctl("E[!can(free) U can(yes)]")));
+}
+
+TEST(Ctl, BasicsOnFigure3) {
+  const Nfa fig3 = figure3_system();
+  // The buggy server: after locking, results become unreachable.
+  EXPECT_FALSE(ctl_holds(fig3, parse_ctl("AG EF can(result)")));
+  EXPECT_TRUE(ctl_holds(fig3, parse_ctl("EF can(result)")));
+  // Locking is reachable and from there no state can do `yes`.
+  EXPECT_TRUE(ctl_holds(fig3, parse_ctl("EF !EF can(yes)")));
+}
+
+TEST(Ctl, DeadlockDetection) {
+  auto sigma = Alphabet::make({"a"});
+  Nfa nfa(sigma);
+  const State s0 = nfa.add_state(true);
+  const State s1 = nfa.add_state(true);
+  nfa.add_transition(s0, sigma->id("a"), s1);
+  nfa.set_initial(s0);
+  EXPECT_TRUE(ctl_holds(nfa, parse_ctl("EF deadlock")));
+  EXPECT_TRUE(ctl_holds(nfa, parse_ctl("AF deadlock")));
+  EXPECT_FALSE(ctl_holds(nfa, parse_ctl("deadlock")));
+  EXPECT_TRUE(ctl_holds(nfa, parse_ctl("AX deadlock")));
+  // EG can(a) fails: the path dies after one step.
+  EXPECT_FALSE(ctl_holds(nfa, parse_ctl("EG can(a)")));
+}
+
+TEST(Ctl, EgOnLoop) {
+  auto sigma = Alphabet::make({"a", "b"});
+  Nfa nfa(sigma);
+  const State s0 = nfa.add_state(true);
+  const State s1 = nfa.add_state(true);
+  nfa.add_transition(s0, sigma->id("a"), s0);
+  nfa.add_transition(s0, sigma->id("b"), s1);
+  nfa.add_transition(s1, sigma->id("b"), s1);
+  nfa.set_initial(s0);
+  EXPECT_TRUE(ctl_holds(nfa, parse_ctl("EG can(a)")));   // stay on the a-loop
+  EXPECT_TRUE(ctl_holds(nfa, parse_ctl("EG can(b)")));
+  EXPECT_FALSE(ctl_holds(nfa, parse_ctl("AG can(a)")));
+}
+
+// ---------------------------------------------------------------------------
+// The §9 bridge: AG EF can(a) ⟺ □◇⟨a⟩ relative liveness.
+
+class CtlBridgeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CtlBridgeProperty, AgEfEquivalentToRelativeLivenessOfGf) {
+  // Valid for deterministic transition systems (which
+  // random_transition_system produces: at most one successor per state and
+  // letter): every prefix reaches a unique state, so "every prefix can be
+  // extended with another a" ⟺ "every reachable state can reach an
+  // a-transition". With nondeterminism the linear side only needs *some*
+  // run to survive, and the equivalence breaks.
+  Rng rng(GetParam() * 7432109 + 13);
+  auto sigma = random_alphabet(2 + rng.next_below(2));
+  const Nfa ts = random_transition_system(rng, 2 + rng.next_below(4), sigma);
+  if (ts.num_states() == 0) return;
+  for (State s = 0; s < ts.num_states(); ++s) {
+    for (Symbol a = 0; a < sigma->size(); ++a) {
+      ASSERT_LE(ts.successors(s, a).size(), 1u) << "generator regression";
+    }
+  }
+  const Buchi behaviors = limit_of_prefix_closed(ts);
+  const Labeling lambda = Labeling::canonical(sigma);
+
+  for (Symbol a = 0; a < sigma->size(); ++a) {
+    const bool branching =
+        ctl_holds(ts, c_ag(c_ef(c_can(sigma->name(a)))));
+    const bool linear =
+        relative_liveness(behaviors,
+                          f_always(f_eventually(f_atom(sigma->name(a)))),
+                          lambda)
+            .holds;
+    EXPECT_EQ(branching, linear)
+        << "action " << sigma->name(a) << " on\n"
+        << ts.to_string();
+  }
+}
+
+TEST(CtlBridge, OneShotEventuallyIsNotAgEf) {
+  // The one-shot ◇a does NOT pair with AG EF can(a): a prefix that already
+  // contains an a satisfies ◇a under every extension, so states reached
+  // only after an a impose no constraint. Concrete witness:
+  // s0 -a-> s1, s1 -b-> s1.
+  auto sigma = Alphabet::make({"a", "b"});
+  Nfa ts(sigma);
+  const State s0 = ts.add_state(true);
+  const State s1 = ts.add_state(true);
+  ts.add_transition(s0, sigma->id("a"), s1);
+  ts.add_transition(s1, sigma->id("b"), s1);
+  ts.set_initial(s0);
+
+  const Buchi behaviors = limit_of_prefix_closed(ts);
+  const Labeling lambda = Labeling::canonical(sigma);
+  EXPECT_TRUE(relative_liveness(behaviors, f_eventually(f_atom("a")), lambda)
+                  .holds);
+  EXPECT_FALSE(ctl_holds(ts, c_ag(c_ef(c_can("a")))));
+  // □◇a, in contrast, pairs correctly: both sides fail.
+  EXPECT_FALSE(
+      relative_liveness(behaviors,
+                        f_always(f_eventually(f_atom("a"))), lambda)
+          .holds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CtlBridgeProperty,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace rlv

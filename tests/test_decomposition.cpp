@@ -1,0 +1,156 @@
+// Tests for the constructive relativized Alpern–Schneider decomposition
+// (core/decomposition.hpp): the safety part is a relative safety property
+// of the system (checked at the level of Definition 4.2 — complementing the
+// safety part with the rank construction would explode), the liveness part
+// is a relative liveness property (checked with the Lemma 4.3 decider), and
+// inside the system's behaviors P coincides with their intersection.
+
+#include <gtest/gtest.h>
+
+#include "rlv/core/decomposition.hpp"
+#include "rlv/core/relative.hpp"
+#include "rlv/gen/families.hpp"
+#include "rlv/gen/random.hpp"
+#include "rlv/lang/ops.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/ltl/pnf.hpp"
+#include "rlv/ltl/translate.hpp"
+#include "rlv/omega/lasso.hpp"
+#include "rlv/omega/limit.hpp"
+#include "rlv/omega/live.hpp"
+#include "rlv/omega/product.hpp"
+#include "rlv/util/rng.hpp"
+
+namespace rlv {
+namespace {
+
+/// Definition 4.2 probe on a sampled behavior x = u·v^ω of the system: if
+/// x ∉ S, some prefix of x must have *no* continuation inside the system
+/// that stays in S. Uses that S ⊆ lim(pre(L∩P)) by construction: once a
+/// prefix leaves pre(L∩S), nothing returns.
+void expect_safety_violation_has_bad_prefix(const Buchi& system,
+                                            const Buchi& safety_part,
+                                            const Word& u, const Word& v) {
+  if (!accepts_lasso(system, u, v)) return;
+  if (accepts_lasso(safety_part, u, v)) return;
+
+  // Search a prefix w of x with w ∉ pre(L ∩ S).
+  const Nfa pre = prefix_nfa(intersect_buchi(system, safety_part));
+  Word w = u;
+  bool found = !pre.accepts(w);
+  // The escape position is bounded by the period count at which the subset
+  // states of `pre` along the lasso start repeating.
+  for (std::size_t round = 0; round <= pre.num_states() + 1 && !found;
+       ++round) {
+    for (const Symbol a : v) w.push_back(a);
+    found = !pre.accepts(w);
+  }
+  // w ∉ pre(L∩S) means no continuation z keeps wz ∈ L ∩ S — exactly the
+  // Definition 4.2 witness.
+  EXPECT_TRUE(found);
+}
+
+TEST(Decomposition, Figure2BoxDiamondResult) {
+  const Nfa fig2 = figure2_system();
+  const Buchi system = limit_of_prefix_closed(fig2);
+  const Labeling lambda = Labeling::canonical(fig2.alphabet());
+  const Formula f = parse_ltl("G F result");
+
+  const RelativeDecomposition dec =
+      relative_decomposition(system, f, lambda);
+
+  EXPECT_TRUE(relative_liveness(system, dec.liveness_part).holds);
+
+  // G F result is relative liveness of L, so pre(L∩P) = pre(L) and the
+  // safety closure is all of L: every behavior is in the safety part, and
+  // the membership equation L∩P = L∩S∩Li reduces P to Li on L.
+  Rng rng(5);
+  const Buchi property = translate_ltl(f, lambda);
+  for (int i = 0; i < 30; ++i) {
+    const auto [u, v] = random_lasso(rng, fig2.alphabet(), 3, 4);
+    if (!accepts_lasso(system, u, v)) continue;
+    EXPECT_TRUE(accepts_lasso(dec.safety_part, u, v));
+    EXPECT_EQ(accepts_lasso(property, u, v),
+              accepts_lasso(dec.safety_part, u, v) &&
+                  accepts_lasso(dec.liveness_part, u, v));
+  }
+}
+
+TEST(Decomposition, SafetyPropertyDecomposesTrivially) {
+  // For P = G !yes (a relative safety property of Figure 2), the liveness
+  // part must be trivial on L: every behavior is in Li, and S carries P.
+  const Nfa fig2 = figure2_system();
+  const Buchi system = limit_of_prefix_closed(fig2);
+  const Labeling lambda = Labeling::canonical(fig2.alphabet());
+  const Formula f = parse_ltl("G !yes");
+
+  const RelativeDecomposition dec =
+      relative_decomposition(system, f, lambda);
+  EXPECT_TRUE(relative_liveness(system, dec.liveness_part).holds);
+
+  Rng rng(7);
+  const Buchi property = translate_ltl(f, lambda);
+  for (int i = 0; i < 30; ++i) {
+    const auto [u, v] = random_lasso(rng, fig2.alphabet(), 3, 4);
+    if (!accepts_lasso(system, u, v)) continue;
+    EXPECT_TRUE(accepts_lasso(dec.liveness_part, u, v));
+    EXPECT_EQ(accepts_lasso(property, u, v),
+              accepts_lasso(dec.safety_part, u, v));
+    expect_safety_violation_has_bad_prefix(system, dec.safety_part, u, v);
+  }
+}
+
+TEST(Decomposition, AutomatonFlavorOnTinySystem) {
+  // Exercise the rank-complementation route on a 1-state system.
+  const Nfa ab = section5_ab_system();
+  const Buchi system = limit_of_prefix_closed(ab);
+  const Labeling lambda = Labeling::canonical(ab.alphabet());
+  const Buchi property = translate_ltl(parse_ltl("G F a"), lambda);
+
+  const RelativeDecomposition dec = relative_decomposition(system, property);
+  EXPECT_TRUE(relative_liveness(system, dec.liveness_part).holds);
+
+  Rng rng(11);
+  for (int i = 0; i < 25; ++i) {
+    const auto [u, v] = random_lasso(rng, ab.alphabet(), 2, 3);
+    EXPECT_EQ(accepts_lasso(property, u, v),
+              accepts_lasso(dec.safety_part, u, v) &&
+                  accepts_lasso(dec.liveness_part, u, v));
+  }
+}
+
+class DecompositionProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DecompositionProperty, GuaranteesOnRandomInstances) {
+  Rng rng(GetParam() * 6364136223846793005ULL + 1442695040888963407ULL);
+  auto sigma = random_alphabet(2);
+  const Nfa ts = random_transition_system(rng, 2 + rng.next_below(3), sigma);
+  if (ts.num_states() == 0) return;
+  const Buchi system = limit_of_prefix_closed(ts);
+  const Labeling lambda = Labeling::canonical(sigma);
+  const Formula f =
+      to_pnf(random_formula(rng, {sigma->name(0), sigma->name(1)}, 2));
+  const Buchi property = translate_ltl(f, lambda);
+
+  const RelativeDecomposition dec = relative_decomposition(system, f, lambda);
+
+  EXPECT_TRUE(relative_liveness(system, dec.liveness_part).holds)
+      << f.to_string();
+
+  for (int i = 0; i < 20; ++i) {
+    const auto [u, v] = random_lasso(rng, sigma, 3, 3);
+    if (!accepts_lasso(system, u, v)) continue;
+    EXPECT_EQ(accepts_lasso(property, u, v),
+              accepts_lasso(dec.safety_part, u, v) &&
+                  accepts_lasso(dec.liveness_part, u, v))
+        << f.to_string();
+    expect_safety_violation_has_bad_prefix(system, dec.safety_part, u, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecompositionProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace rlv

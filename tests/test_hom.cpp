@@ -1,0 +1,286 @@
+// Tests for abstracting homomorphisms (rlv_hom): letter/word/lasso images,
+// automaton images with ε-elimination (the Figure 2 → Figure 4 reduction),
+// inverse images, maximal-word extension, and the simplicity decision
+// procedure — including the paper's headline pair: the abstraction is
+// simple on the correct server (Figure 2) and NOT simple on the buggy one
+// (Figure 3).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rlv/gen/families.hpp"
+#include "rlv/gen/random.hpp"
+#include "rlv/hom/homomorphism.hpp"
+#include "rlv/hom/image.hpp"
+#include "rlv/hom/simplicity.hpp"
+#include "rlv/lang/inclusion.hpp"
+#include "rlv/lang/ops.hpp"
+#include "rlv/lang/quotient.hpp"
+#include "rlv/util/rng.hpp"
+
+namespace rlv {
+namespace {
+
+TEST(Homomorphism, ProjectionBasics) {
+  auto sigma = Alphabet::make({"a", "b", "c"});
+  const Homomorphism h = Homomorphism::projection(sigma, {"a", "c"});
+  EXPECT_TRUE(h.apply(sigma->id("a")).has_value());
+  EXPECT_FALSE(h.apply(sigma->id("b")).has_value());
+  EXPECT_TRUE(h.hides(sigma->id("b")));
+
+  const Word w = {sigma->id("a"), sigma->id("b"), sigma->id("c"),
+                  sigma->id("b")};
+  const Word img = h.apply_word(w);
+  EXPECT_EQ(img.size(), 2u);
+  EXPECT_EQ(h.target()->name(img[0]), "a");
+  EXPECT_EQ(h.target()->name(img[1]), "c");
+}
+
+TEST(Homomorphism, LassoImageUndefinedWhenPeriodHidden) {
+  auto sigma = Alphabet::make({"a", "b"});
+  const Homomorphism h = Homomorphism::projection(sigma, {"a"});
+  EXPECT_FALSE(h.apply_lasso({sigma->id("a")}, {sigma->id("b")}).has_value());
+  const auto img = h.apply_lasso({sigma->id("b")}, {sigma->id("a"),
+                                                    sigma->id("b")});
+  ASSERT_TRUE(img.has_value());
+  EXPECT_TRUE(img->first.empty());
+  EXPECT_EQ(img->second.size(), 1u);
+}
+
+TEST(Homomorphism, RenamingMerge) {
+  auto sigma = Alphabet::make({"x", "y"});
+  auto target = Alphabet::make({"z"});
+  Homomorphism h(sigma, target);
+  h.rename("x", "z");
+  h.rename("y", "z");
+  EXPECT_EQ(h.preimage(target->id("z")).size(), 2u);
+  EXPECT_TRUE(h.hidden_letters().empty());
+}
+
+TEST(Image, Figure2AbstractsToFigure4) {
+  const Nfa fig2 = figure2_system();
+  const Homomorphism h = paper_abstraction(fig2.alphabet());
+  const Nfa abstract = image_nfa(fig2, h);
+  const Nfa expected = figure4_expected(h.target());
+  EXPECT_TRUE(nfa_equivalent(abstract, expected));
+}
+
+TEST(Image, Figure3AbstractsToFigure4Too) {
+  // The paper's caution: the buggy system has the *same* abstraction.
+  const Nfa fig3 = figure3_system();
+  const Homomorphism h = paper_abstraction(fig3.alphabet());
+  const Nfa abstract = image_nfa(fig3, h);
+  const Nfa expected = figure4_expected(h.target());
+  EXPECT_TRUE(nfa_equivalent(abstract, expected));
+}
+
+TEST(Image, WordLevelConsistency) {
+  // Every h(w) for w ∈ L is accepted by the image automaton.
+  const Nfa fig2 = figure2_system();
+  const Homomorphism h = paper_abstraction(fig2.alphabet());
+  const Nfa abstract = image_nfa(fig2, h);
+  for (const Word& w : enumerate_words(fig2, 5)) {
+    EXPECT_TRUE(abstract.accepts(h.apply_word(w)))
+        << fig2.alphabet()->format(w);
+  }
+}
+
+TEST(InverseImage, MembershipCharacterization) {
+  // w ∈ h⁻¹(L') ⟺ h(w) ∈ L'.
+  auto source = Alphabet::make({"a", "b", "t"});
+  const Homomorphism h = Homomorphism::projection(source, {"a", "b"});
+  // L' = words over {a,b} ending in a.
+  Nfa lp(h.target());
+  const State s0 = lp.add_state(false);
+  const State s1 = lp.add_state(true);
+  lp.add_transition(s0, h.target()->id("a"), s1);
+  lp.add_transition(s0, h.target()->id("b"), s0);
+  lp.add_transition(s1, h.target()->id("a"), s1);
+  lp.add_transition(s1, h.target()->id("b"), s0);
+  lp.set_initial(s0);
+
+  const Nfa inv = inverse_image_nfa(lp, h);
+  Nfa total(source);
+  const State t = total.add_state(true);
+  for (Symbol a = 0; a < source->size(); ++a) total.add_transition(t, a, t);
+  total.set_initial(t);
+  for (const Word& w : enumerate_words(total, 4)) {
+    EXPECT_EQ(inv.accepts(w), lp.accepts(h.apply_word(w)))
+        << source->format(w);
+  }
+}
+
+TEST(ExtendMaximalWords, PadsDeadEnds) {
+  // L = pre(a*b): maximal words are those ending in b.
+  auto sigma = Alphabet::make({"a", "b"});
+  Nfa nfa(sigma);
+  const State s0 = nfa.add_state(true);
+  const State s1 = nfa.add_state(true);
+  nfa.add_transition(s0, sigma->id("a"), s0);
+  nfa.add_transition(s0, sigma->id("b"), s1);
+  nfa.set_initial(s0);
+
+  const Nfa extended = extend_maximal_words(nfa);
+  const Symbol pad = extended.alphabet()->id("pad");
+  // b pad pad ∈ extended language; pad impossible before b.
+  EXPECT_TRUE(extended.accepts({sigma->id("b"), pad, pad}));
+  EXPECT_FALSE(extended.accepts({pad}));
+  EXPECT_TRUE(extended.accepts({sigma->id("a"), sigma->id("b"), pad}));
+}
+
+TEST(Simplicity, PaperHeadline) {
+  const Nfa fig2 = figure2_system();
+  const Homomorphism h2 = paper_abstraction(fig2.alphabet());
+  const SimplicityResult r2 = check_simplicity(fig2, h2);
+  EXPECT_TRUE(r2.simple);
+
+  const Nfa fig3 = figure3_system();
+  const Homomorphism h3 = paper_abstraction(fig3.alphabet());
+  const SimplicityResult r3 = check_simplicity(fig3, h3);
+  EXPECT_FALSE(r3.simple);
+  ASSERT_TRUE(r3.violating_word.has_value());
+  // The violating word must be in L (prefix-closed system: every state
+  // accepts).
+  EXPECT_TRUE(fig3.accepts(*r3.violating_word));
+}
+
+TEST(Simplicity, IdentityIsSimple) {
+  const Nfa fig2 = figure2_system();
+  // Identity homomorphism: every letter maps to itself.
+  std::vector<std::string> names;
+  for (Symbol a = 0; a < fig2.alphabet()->size(); ++a) {
+    names.push_back(fig2.alphabet()->name(a));
+  }
+  const Homomorphism id = Homomorphism::projection(fig2.alphabet(), names);
+  EXPECT_TRUE(check_simplicity(fig2, id).simple);
+}
+
+TEST(Simplicity, HideEverythingIsSimple) {
+  // h(L) = {ε}: cont sets on both sides are {ε}; trivially simple.
+  const Nfa fig2 = figure2_system();
+  auto target = Alphabet::make({"unused"});
+  const Homomorphism h(fig2.alphabet(), target);
+  EXPECT_TRUE(check_simplicity(fig2, h).simple);
+}
+
+TEST(Simplicity, ViolationDetectedOnTrapSystem) {
+  // System: s0 --a--> s0, s0 --t--> s1, s1 --b--> s1 with h hiding t:
+  // h(L) = pre(a* b*)… from s0 continuations map to a*b*, from s1 to b*.
+  // After reading ε at abstract level we cannot tell; taking u = b isolates
+  // cont equality; this h IS simple (u = b works: both sides b*).
+  auto sigma = Alphabet::make({"a", "b", "t"});
+  Nfa nfa(sigma);
+  const State s0 = nfa.add_state(true);
+  const State s1 = nfa.add_state(true);
+  nfa.add_transition(s0, sigma->id("a"), s0);
+  nfa.add_transition(s0, sigma->id("t"), s1);
+  nfa.add_transition(s1, sigma->id("b"), s1);
+  nfa.set_initial(s0);
+  const Homomorphism h = Homomorphism::projection(sigma, {"a", "b"});
+  EXPECT_TRUE(check_simplicity(nfa, h).simple);
+
+  // Non-simple variant: q0 loops on both visible letters, the hidden t
+  // moves into a trap where only c remains. After t, the abstract level
+  // still offers (a|c)* while the concrete side only has c* — and no u
+  // ever re-synchronizes, because u⁻¹((a|c)*) = (a|c)* keeps containing
+  // a-words while u⁻¹(c*) never does.
+  auto sigma2 = Alphabet::make({"a", "c", "t"});
+  Nfa trap(sigma2);
+  const State q0 = trap.add_state(true);
+  const State q1 = trap.add_state(true);
+  trap.add_transition(q0, sigma2->id("a"), q0);
+  trap.add_transition(q0, sigma2->id("c"), q0);
+  trap.add_transition(q0, sigma2->id("t"), q1);
+  trap.add_transition(q1, sigma2->id("c"), q1);
+  trap.set_initial(q0);
+  const Homomorphism h2 = Homomorphism::projection(sigma2, {"a", "c"});
+  const SimplicityResult r = check_simplicity(trap, h2);
+  EXPECT_FALSE(r.simple);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests.
+
+class HomProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HomProperty, ImageAcceptsExactlyTheImages) {
+  Rng rng(GetParam() * 31 + 5);
+  auto sigma = random_alphabet(3);
+  const Nfa nfa = random_nfa(rng, 2 + rng.next_below(4), sigma);
+  const Homomorphism h = random_homomorphism(rng, sigma, 2, 30);
+  const Nfa img = image_nfa(nfa, h);
+
+  // Soundness: image of each accepted word is accepted.
+  for (const Word& w : enumerate_words(nfa, 4)) {
+    EXPECT_TRUE(img.accepts(h.apply_word(w)));
+  }
+  // Completeness: every short image word has a preimage in L, found via
+  // the inverse-image automaton.
+  Nfa total(h.target());
+  if (h.target()->size() > 0) {
+    const State t = total.add_state(true);
+    for (Symbol a = 0; a < h.target()->size(); ++a) {
+      total.add_transition(t, a, t);
+    }
+    total.set_initial(t);
+  }
+  for (const Word& u : enumerate_words(img, 3, 1u << 14)) {
+    // u ∈ h(L) ⟺ h⁻¹({u}) ∩ L ≠ ∅ where h⁻¹ goes through the word DFA.
+    Nfa word_aut(h.target());
+    State prev = word_aut.add_state(u.empty());
+    word_aut.set_initial(prev);
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      const State next = word_aut.add_state(i + 1 == u.size());
+      word_aut.add_transition(prev, u[i], next);
+      prev = next;
+    }
+    const Nfa candidates = intersect(inverse_image_nfa(word_aut, h), nfa);
+    EXPECT_FALSE(is_empty(candidates)) << h.target()->format(u);
+  }
+}
+
+TEST_P(HomProperty, SimplicityAgreesOnDefinitionSample) {
+  // Partial validation of the decision procedure against Definition 6.3:
+  // when check_simplicity reports a violating word w, verify by bounded
+  // search that no witness u (up to length 3) satisfies the residual
+  // equality on words up to length 3.
+  Rng rng(GetParam() * 101 + 13);
+  auto sigma = random_alphabet(3);
+  const Nfa raw = random_transition_system(rng, 2 + rng.next_below(4), sigma);
+  if (raw.num_states() == 0) return;
+  const Homomorphism h = random_homomorphism(rng, sigma, 2, 35);
+  const SimplicityResult res = check_simplicity(raw, h);
+  if (res.simple || !res.violating_word.has_value()) return;
+  const Word& w = *res.violating_word;
+  ASSERT_TRUE(raw.accepts(w));
+
+  // Enumerate candidate witnesses u over Σ' up to length 3.
+  const Nfa img = image_nfa(raw, h);
+  const Nfa cont_hw = left_quotient(img, h.apply_word(w));
+
+  // h(cont(w, L)).
+  const Nfa cont_w = left_quotient(raw, w);
+  const Nfa h_cont_w = image_nfa(cont_w, h);
+
+  Nfa total(h.target());
+  const State t = total.add_state(true);
+  for (Symbol a = 0; a < h.target()->size(); ++a) {
+    total.add_transition(t, a, t);
+  }
+  total.set_initial(t);
+  for (const Word& u : enumerate_words(total, 3)) {
+    if (!cont_hw.accepts(u)) continue;  // u must lie in cont(h(w), h(L))
+    const Nfa lhs = left_quotient(cont_hw, u);
+    const Nfa rhs = left_quotient(h_cont_w, u);
+    EXPECT_FALSE(nfa_equivalent(lhs, rhs))
+        << "witness u=" << h.target()->format(u)
+        << " contradicts non-simplicity at w=" << sigma->format(w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HomProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace rlv

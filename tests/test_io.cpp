@@ -1,0 +1,198 @@
+// Tests for the textual interchange format (rlv_io): parsing, error
+// reporting, serialization round-trips, homomorphism files, and DOT export.
+
+#include <gtest/gtest.h>
+
+#include "rlv/gen/families.hpp"
+#include "rlv/gen/random.hpp"
+#include "rlv/hom/simplicity.hpp"
+#include "rlv/io/format.hpp"
+#include "rlv/lang/inclusion.hpp"
+#include "rlv/lang/ops.hpp"
+#include "rlv/util/rng.hpp"
+
+namespace rlv {
+namespace {
+
+constexpr const char* kSmallSystem = R"(
+# a toy
+alphabet: a b
+states: 2
+initial: 0
+accepting: all
+0 a 0
+0 b 1
+1 b 1
+)";
+
+TEST(IoParse, SmallSystem) {
+  const Nfa nfa = parse_system(kSmallSystem);
+  EXPECT_EQ(nfa.num_states(), 2u);
+  EXPECT_EQ(nfa.num_transitions(), 3u);
+  EXPECT_EQ(nfa.initial().size(), 1u);
+  EXPECT_TRUE(nfa.accepts({nfa.alphabet()->id("a"), nfa.alphabet()->id("b"),
+                           nfa.alphabet()->id("b")}));
+  EXPECT_FALSE(nfa.accepts({nfa.alphabet()->id("b"), nfa.alphabet()->id("a")}));
+}
+
+TEST(IoParse, ExplicitAcceptingList) {
+  const Nfa nfa = parse_system(R"(
+alphabet: x
+states: 3
+initial: 0
+accepting: 2
+0 x 1
+1 x 2
+)");
+  EXPECT_FALSE(nfa.accepts({}));
+  EXPECT_FALSE(nfa.accepts({0}));
+  EXPECT_TRUE(nfa.accepts({0, 0}));
+}
+
+TEST(IoParse, Errors) {
+  EXPECT_THROW((void)parse_system("states: 1\ninitial: 0\naccepting: all\n"),
+               IoError);  // missing alphabet
+  EXPECT_THROW((void)parse_system("alphabet: a\ninitial: 0\naccepting: all\n"),
+               IoError);  // missing states
+  EXPECT_THROW((void)parse_system("alphabet: a\nstates: 1\naccepting: all\n"),
+               IoError);  // missing initial
+  EXPECT_THROW(
+      (void)parse_system(
+          "alphabet: a\nstates: 1\ninitial: 0\naccepting: all\n0 zz 0\n"),
+      IoError);  // unknown action
+  EXPECT_THROW(
+      (void)parse_system(
+          "alphabet: a\nstates: 1\ninitial: 0\naccepting: all\n0 a 7\n"),
+      IoError);  // state out of range
+  EXPECT_THROW(
+      (void)parse_system(
+          "alphabet: a\nstates: 1\ninitial: 0\naccepting: all\nbogus line x y\n"),
+      IoError);
+  try {
+    (void)parse_system("alphabet: a\nstates: x\n");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(IoRoundTrip, PaperSystems) {
+  for (const Nfa& original : {figure2_system(), figure3_system()}) {
+    const Nfa reparsed = parse_system(serialize_system(original));
+    const Nfa remapped = remap_alphabet(reparsed, original.alphabet());
+    EXPECT_TRUE(nfa_equivalent(remapped, original));
+  }
+}
+
+TEST(IoRoundTrip, RandomSystems) {
+  Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    auto sigma = random_alphabet(2 + rng.next_below(2));
+    const Nfa original = random_nfa(rng, 2 + rng.next_below(5), sigma);
+    const Nfa reparsed = parse_system(serialize_system(original));
+    const Nfa remapped = remap_alphabet(reparsed, original.alphabet());
+    EXPECT_TRUE(nfa_equivalent(remapped, original));
+  }
+}
+
+TEST(IoHom, ParseAndApply) {
+  const Nfa fig2 = figure2_system();
+  const Homomorphism h = parse_homomorphism(R"(
+target: request result reject
+map: request -> request
+map: result -> result
+map: reject -> reject
+hide: lock free yes no
+)",
+                                            fig2.alphabet());
+  EXPECT_TRUE(h.hides(fig2.alphabet()->id("lock")));
+  EXPECT_FALSE(h.hides(fig2.alphabet()->id("request")));
+  // Behaves exactly like the built-in paper abstraction.
+  EXPECT_TRUE(check_simplicity(fig2, h).simple);
+}
+
+TEST(IoHom, UnlistedLettersDefaultToHidden) {
+  const Nfa fig2 = figure2_system();
+  const Homomorphism h = parse_homomorphism(
+      "target: request\nmap: request -> request\n", fig2.alphabet());
+  EXPECT_TRUE(h.hides(fig2.alphabet()->id("lock")));
+  EXPECT_TRUE(h.hides(fig2.alphabet()->id("result")));
+}
+
+TEST(IoHom, Errors) {
+  const Nfa fig2 = figure2_system();
+  EXPECT_THROW((void)parse_homomorphism("map: a -> b\n", fig2.alphabet()), IoError);
+  EXPECT_THROW(
+      (void)parse_homomorphism("target: x\nmap: nosuch -> x\n", fig2.alphabet()),
+      IoError);
+  EXPECT_THROW(
+      (void)parse_homomorphism("target: x\nhide: nosuch\n", fig2.alphabet()),
+      IoError);
+}
+
+TEST(IoBuchi, RoundTrip) {
+  // A Büchi automaton with a non-trivial acceptance set survives the text
+  // format (acceptance = the accepting: list).
+  Buchi buchi(Alphabet::make({"a", "b"}));
+  const State s0 = buchi.add_state(false);
+  const State s1 = buchi.add_state(true);
+  buchi.add_transition(s0, 0, s0);
+  buchi.add_transition(s0, 0, s1);
+  buchi.add_transition(s1, 1, s0);
+  buchi.set_initial(s0);
+
+  const Buchi reparsed = parse_buchi(serialize_buchi(buchi));
+  EXPECT_EQ(reparsed.num_states(), 2u);
+  EXPECT_FALSE(reparsed.is_accepting(0));
+  EXPECT_TRUE(reparsed.is_accepting(1));
+  EXPECT_EQ(reparsed.num_transitions(), 3u);
+}
+
+TEST(IoExplain, AnnotatesStates) {
+  const Nfa fig2 = figure2_system();
+  const auto& sigma = fig2.alphabet();
+  const std::string trace = explain_word(
+      fig2, {sigma->id("request"), sigma->id("yes"), sigma->id("result")});
+  EXPECT_NE(trace.find("start        {0}"), std::string::npos);
+  EXPECT_NE(trace.find("request"), std::string::npos);
+  EXPECT_NE(trace.find("{1}"), std::string::npos);  // got_request, free
+
+  const std::string bad =
+      explain_word(fig2, {sigma->id("result")});
+  EXPECT_NE(bad.find("left the system"), std::string::npos);
+
+  const std::string lasso = explain_lasso(
+      fig2, {sigma->id("lock")},
+      {sigma->id("request"), sigma->id("no"), sigma->id("reject")});
+  EXPECT_NE(lasso.find("period"), std::string::npos);
+}
+
+TEST(IoHoa, ExportShape) {
+  Buchi buchi(Alphabet::make({"a", "b"}));
+  const State s0 = buchi.add_state(false);
+  const State s1 = buchi.add_state(true);
+  buchi.add_transition(s0, 0, s1);
+  buchi.add_transition(s1, 1, s0);
+  buchi.set_initial(s0);
+  const std::string hoa = to_hoa(buchi, "demo");
+  EXPECT_NE(hoa.find("HOA: v1"), std::string::npos);
+  EXPECT_NE(hoa.find("States: 2"), std::string::npos);
+  EXPECT_NE(hoa.find("Start: 0"), std::string::npos);
+  EXPECT_NE(hoa.find("AP: 2 \"a\" \"b\""), std::string::npos);
+  EXPECT_NE(hoa.find("Acceptance: 1 Inf(0)"), std::string::npos);
+  EXPECT_NE(hoa.find("State: 1 {0}"), std::string::npos);
+  EXPECT_NE(hoa.find("[0&!1] 1"), std::string::npos);
+  EXPECT_NE(hoa.find("[!0&1] 0"), std::string::npos);
+  EXPECT_NE(hoa.find("--END--"), std::string::npos);
+}
+
+TEST(IoDot, ContainsStructure) {
+  const std::string dot = to_dot(figure2_system(), "fig2");
+  EXPECT_NE(dot.find("digraph fig2"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"request\""), std::string::npos);
+  EXPECT_NE(dot.find("init -> s0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlv

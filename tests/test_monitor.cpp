@@ -1,0 +1,261 @@
+// Tests for the runtime doom monitor (core/monitor.hpp) and the formula
+// pattern builders (ltl/patterns.hpp). The monitor's verdicts must agree
+// exactly with prefix membership in pre(L_ω ∩ P) / pre(L_ω); relative
+// liveness of P ⟺ no reachable trace ever dooms.
+
+#include <gtest/gtest.h>
+
+#include "rlv/core/monitor.hpp"
+#include "rlv/core/relative.hpp"
+#include "rlv/gen/families.hpp"
+#include "rlv/gen/random.hpp"
+#include "rlv/lang/ops.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/ltl/patterns.hpp"
+#include "rlv/ltl/translate.hpp"
+#include "rlv/omega/limit.hpp"
+#include "rlv/omega/live.hpp"
+#include "rlv/omega/product.hpp"
+#include "rlv/util/rng.hpp"
+
+namespace rlv {
+namespace {
+
+Word w(const AlphabetRef& sigma, std::initializer_list<const char*> names) {
+  Word out;
+  for (const char* n : names) out.push_back(sigma->id(n));
+  return out;
+}
+
+TEST(Monitor, CorrectServerNeverDooms) {
+  // G F result is relative liveness of Figure 2, so no behavior dooms.
+  const Nfa fig2 = figure2_system();
+  const Buchi system = limit_of_prefix_closed(fig2);
+  const Labeling lambda = Labeling::canonical(fig2.alphabet());
+  DoomMonitor monitor(system, parse_ltl("G F result"), lambda);
+
+  const Word trace = w(fig2.alphabet(), {"lock", "request", "no", "reject",
+                                         "free", "request", "yes", "result"});
+  std::size_t first_doom = 0;
+  EXPECT_EQ(monitor.run(trace, &first_doom), MonitorVerdict::kSatisfiable);
+  EXPECT_EQ(first_doom, trace.size());
+}
+
+TEST(Monitor, BuggyServerDoomsAtLock) {
+  const Nfa fig3 = figure3_system();
+  const Buchi system = limit_of_prefix_closed(fig3);
+  const Labeling lambda = Labeling::canonical(fig3.alphabet());
+  DoomMonitor monitor(system, parse_ltl("G F result"), lambda);
+
+  EXPECT_EQ(monitor.verdict(), MonitorVerdict::kSatisfiable);
+  // request/yes/result keep hope alive...
+  EXPECT_EQ(monitor.step(fig3.alphabet()->id("request")),
+            MonitorVerdict::kSatisfiable);
+  EXPECT_EQ(monitor.step(fig3.alphabet()->id("yes")),
+            MonitorVerdict::kSatisfiable);
+  EXPECT_EQ(monitor.step(fig3.alphabet()->id("result")),
+            MonitorVerdict::kSatisfiable);
+  // ...lock is the step that dooms the run: no continuation can ever
+  // produce a result again.
+  EXPECT_EQ(monitor.step(fig3.alphabet()->id("lock")),
+            MonitorVerdict::kDoomed);
+  // Doom is permanent.
+  EXPECT_EQ(monitor.step(fig3.alphabet()->id("request")),
+            MonitorVerdict::kDoomed);
+}
+
+TEST(Monitor, LeavingTheSystemIsDetected) {
+  const Nfa fig2 = figure2_system();
+  const Buchi system = limit_of_prefix_closed(fig2);
+  const Labeling lambda = Labeling::canonical(fig2.alphabet());
+  DoomMonitor monitor(system, parse_ltl("G F result"), lambda);
+
+  // "result" before any request is not a behavior of the server.
+  EXPECT_EQ(monitor.step(fig2.alphabet()->id("result")),
+            MonitorVerdict::kLeftSystem);
+  // Absorbing.
+  EXPECT_EQ(monitor.step(fig2.alphabet()->id("request")),
+            MonitorVerdict::kLeftSystem);
+}
+
+TEST(Monitor, ResetRestores) {
+  const Nfa fig3 = figure3_system();
+  const Buchi system = limit_of_prefix_closed(fig3);
+  const Labeling lambda = Labeling::canonical(fig3.alphabet());
+  DoomMonitor monitor(system, parse_ltl("G F result"), lambda);
+  monitor.step(fig3.alphabet()->id("lock"));
+  EXPECT_EQ(monitor.verdict(), MonitorVerdict::kDoomed);
+  monitor.reset();
+  EXPECT_EQ(monitor.verdict(), MonitorVerdict::kSatisfiable);
+  EXPECT_EQ(monitor.position(), 0u);
+}
+
+class MonitorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonitorProperty, VerdictMatchesPrefixMembership) {
+  Rng rng(GetParam() * 104917 + 3);
+  auto sigma = random_alphabet(2);
+  const Nfa ts = random_transition_system(rng, 2 + rng.next_below(3), sigma);
+  if (ts.num_states() == 0) return;
+  const Buchi system = limit_of_prefix_closed(ts);
+  const Labeling lambda = Labeling::canonical(sigma);
+  const Formula f =
+      random_formula(rng, {sigma->name(0), sigma->name(1)}, 2);
+  const Buchi property = translate_ltl(f, lambda);
+
+  const Nfa pre_sys = prefix_nfa(system);
+  const Nfa pre_both = prefix_nfa(intersect_buchi(system, property));
+
+  DoomMonitor monitor(system, property);
+  Word trace;
+  for (int step = 0; step < 12; ++step) {
+    const MonitorVerdict verdict = monitor.verdict();
+    const bool in_system = pre_sys.accepts(trace);
+    const bool winnable = pre_both.accepts(trace);
+    if (!in_system) {
+      EXPECT_EQ(verdict, MonitorVerdict::kLeftSystem);
+    } else if (!winnable) {
+      EXPECT_EQ(verdict, MonitorVerdict::kDoomed) << f.to_string();
+    } else {
+      EXPECT_EQ(verdict, MonitorVerdict::kSatisfiable) << f.to_string();
+    }
+    const Symbol a = static_cast<Symbol>(rng.next_below(sigma->size()));
+    trace.push_back(a);
+    monitor.step(a);
+  }
+}
+
+TEST_P(MonitorProperty, RelativeLivenessMeansNoDoom) {
+  Rng rng(GetParam() * 15485863 + 19);
+  auto sigma = random_alphabet(2);
+  const Nfa ts = random_transition_system(rng, 2 + rng.next_below(3), sigma);
+  if (ts.num_states() == 0) return;
+  const Buchi system = limit_of_prefix_closed(ts);
+  const Labeling lambda = Labeling::canonical(sigma);
+  const Formula f =
+      random_formula(rng, {sigma->name(0), sigma->name(1)}, 2);
+
+  const auto rl = relative_liveness(system, f, lambda);
+  DoomMonitor monitor(system, f, lambda);
+  if (rl.holds) {
+    // Walk random *system* traces: none may doom.
+    const Nfa pre_sys = prefix_nfa(system);
+    for (int run = 0; run < 5; ++run) {
+      monitor.reset();
+      Word trace;
+      for (int step = 0; step < 10; ++step) {
+        // Extend within the system when possible.
+        bool extended = false;
+        for (Symbol a = 0; a < sigma->size() && !extended; ++a) {
+          const Symbol pick = static_cast<Symbol>(
+              (a + rng.next_below(sigma->size())) % sigma->size());
+          Word candidate = trace;
+          candidate.push_back(pick);
+          if (pre_sys.accepts(candidate)) {
+            trace = std::move(candidate);
+            monitor.step(pick);
+            extended = true;
+          }
+        }
+        if (!extended) break;
+        EXPECT_NE(monitor.verdict(), MonitorVerdict::kDoomed)
+            << f.to_string();
+      }
+    }
+  } else {
+    // The violating prefix must doom the monitor.
+    ASSERT_TRUE(rl.violating_prefix.has_value());
+    std::size_t first_doom = 0;
+    EXPECT_EQ(monitor.run(*rl.violating_prefix, &first_doom),
+              MonitorVerdict::kDoomed)
+        << f.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorProperty,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(Monitor, ShortestDoomedPrefixOnFigure3) {
+  const Nfa fig3 = figure3_system();
+  const Buchi system = limit_of_prefix_closed(fig3);
+  const Labeling lambda = Labeling::canonical(fig3.alphabet());
+  DoomMonitor monitor(system, parse_ltl("G F result"), lambda);
+  const auto doom = monitor.shortest_doomed_prefix();
+  ASSERT_TRUE(doom.has_value());
+  // "lock" dooms immediately; nothing shorter can (ε is fine).
+  EXPECT_EQ(doom->size(), 1u);
+  EXPECT_EQ(fig3.alphabet()->name(doom->front()), "lock");
+  // The returned prefix indeed dooms a fresh monitor.
+  DoomMonitor fresh(system, parse_ltl("G F result"), lambda);
+  EXPECT_EQ(fresh.run(*doom), MonitorVerdict::kDoomed);
+}
+
+TEST(Monitor, NoDoomedPrefixOnFigure2) {
+  const Nfa fig2 = figure2_system();
+  const Buchi system = limit_of_prefix_closed(fig2);
+  const Labeling lambda = Labeling::canonical(fig2.alphabet());
+  DoomMonitor monitor(system, parse_ltl("G F result"), lambda);
+  EXPECT_FALSE(monitor.shortest_doomed_prefix().has_value());
+}
+
+class DoomSearchProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DoomSearchProperty, ExistenceMatchesRelativeLiveness) {
+  // Definition 4.1 reformulated: a doomed prefix exists iff the property is
+  // NOT relative liveness — two entirely different code paths must agree.
+  Rng rng(GetParam() * 193877777 + 7);
+  auto sigma = random_alphabet(2);
+  const Nfa ts = random_transition_system(rng, 2 + rng.next_below(4), sigma);
+  if (ts.num_states() == 0) return;
+  const Buchi system = limit_of_prefix_closed(ts);
+  const Labeling lambda = Labeling::canonical(sigma);
+  const Formula f =
+      random_formula(rng, {sigma->name(0), sigma->name(1)}, 3);
+
+  DoomMonitor monitor(system, f, lambda);
+  const auto doom = monitor.shortest_doomed_prefix();
+  const auto rl = relative_liveness(system, f, lambda);
+  EXPECT_EQ(doom.has_value(), !rl.holds) << f.to_string();
+  if (doom) {
+    // Minimality: the checker's own violating prefix cannot be shorter.
+    ASSERT_TRUE(rl.violating_prefix.has_value());
+    EXPECT_LE(doom->size(), rl.violating_prefix->size()) << f.to_string();
+    DoomMonitor fresh(system, f, lambda);
+    EXPECT_EQ(fresh.run(*doom), MonitorVerdict::kDoomed) << f.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DoomSearchProperty,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+TEST(Patterns, BuildExpectedFormulas) {
+  EXPECT_EQ(patterns::infinitely_often("p"), parse_ltl("G F p"));
+  EXPECT_EQ(patterns::eventually_always("p"), parse_ltl("F G p"));
+  EXPECT_EQ(patterns::response("p", "q"), parse_ltl("G(p -> F q)"));
+  EXPECT_EQ(patterns::never("p"), parse_ltl("G !p"));
+  EXPECT_EQ(patterns::precedence("p", "q"), parse_ltl("!q U p"));
+  EXPECT_EQ(patterns::precedence_weak("p", "q"),
+            parse_ltl("(!q U p) || G !q"));
+  EXPECT_EQ(patterns::alternation("p", "q"),
+            parse_ltl("G(p -> X(!p U q))"));
+}
+
+TEST(Patterns, PaperPropertiesViaPatterns) {
+  const Nfa fig2 = figure2_system();
+  const Buchi system = limit_of_prefix_closed(fig2);
+  const Labeling lambda = Labeling::canonical(fig2.alphabet());
+  EXPECT_TRUE(
+      relative_liveness(system, patterns::infinitely_often("result"), lambda)
+          .holds);
+  EXPECT_TRUE(
+      relative_liveness(system, patterns::response("request", "result"),
+                        lambda)
+          .holds);
+  // A result can only come after a request (weak precedence) — satisfied
+  // outright, not just relatively.
+  EXPECT_TRUE(satisfies(system, patterns::precedence_weak("request", "result"),
+                        lambda));
+}
+
+}  // namespace
+}  // namespace rlv

@@ -1,0 +1,132 @@
+// Peterson's mutual exclusion through the library: the guarded-command
+// substrate, action-level mutual exclusion (a genuine safety property,
+// satisfied outright), and starvation freedom (a liveness property that is
+// false without fairness, relative liveness always, and true under strong
+// fairness — the full Section-1 story on a classical algorithm).
+
+#include <gtest/gtest.h>
+
+#include "rlv/core/preservation.hpp"
+#include "rlv/core/relative.hpp"
+#include "rlv/ctl/ctl.hpp"
+#include "rlv/fair/fair_check.hpp"
+#include "rlv/gen/families.hpp"
+#include "rlv/gen/guarded.hpp"
+#include "rlv/lang/ops.hpp"
+#include "rlv/ltl/eval.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/omega/lasso.hpp"
+#include "rlv/omega/limit.hpp"
+
+namespace rlv {
+namespace {
+
+TEST(Guarded, BuildsSmallCounter) {
+  GuardedSystem gs;
+  const auto x = gs.add_variable("x", 3, 0);
+  gs.add_rule(
+      "inc", [x](const Valuation& v) { return v[x] < 2; },
+      [x](Valuation& v) { ++v[x]; });
+  gs.add_rule(
+      "reset", [x](const Valuation& v) { return v[x] == 2; },
+      [x](Valuation& v) { v[x] = 0; });
+  const auto built = gs.build();
+  EXPECT_TRUE(built.complete);
+  EXPECT_EQ(built.system.num_states(), 3u);
+  EXPECT_EQ(built.valuations[0][x], 0);
+  // inc inc reset inc is a valid behavior.
+  const auto& sigma = built.system.alphabet();
+  EXPECT_TRUE(built.system.accepts(
+      {sigma->id("inc"), sigma->id("inc"), sigma->id("reset"),
+       sigma->id("inc")}));
+  EXPECT_FALSE(built.system.accepts(
+      {sigma->id("inc"), sigma->id("inc"), sigma->id("inc")}));
+}
+
+TEST(Guarded, StateBudget) {
+  GuardedSystem gs;
+  const auto x = gs.add_variable("x", 100, 0);
+  gs.add_rule(
+      "inc", [x](const Valuation& v) { return v[x] < 99; },
+      [x](Valuation& v) { ++v[x]; });
+  const auto built = gs.build(/*max_states=*/10);
+  EXPECT_FALSE(built.complete);
+  EXPECT_EQ(built.system.num_states(), 10u);
+}
+
+TEST(Peterson, StateSpace) {
+  const Nfa system = peterson_system();
+  EXPECT_GT(system.num_states(), 10u);
+  EXPECT_LT(system.num_states(), 60u);
+  EXPECT_TRUE(is_prefix_closed(system));
+  EXPECT_FALSE(has_maximal_words(trim(system)));
+}
+
+TEST(Peterson, MutualExclusionHoldsOutright) {
+  // Action-level mutual exclusion: after enter_0, process 1 cannot enter
+  // before exit_0 (weak until: no obligation that exit_0 ever happens).
+  const Nfa system = peterson_system();
+  const Buchi behaviors = limit_of_prefix_closed(system);
+  const Labeling lambda = Labeling::canonical(system.alphabet());
+  const Formula mutex0 = parse_ltl(
+      "G(enter_0 -> X((!enter_1 U exit_0) || G !enter_1))");
+  const Formula mutex1 = parse_ltl(
+      "G(enter_1 -> X((!enter_0 U exit_1) || G !enter_0))");
+  EXPECT_TRUE(satisfies(behaviors, mutex0, lambda));
+  EXPECT_TRUE(satisfies(behaviors, mutex1, lambda));
+}
+
+TEST(Peterson, StarvationFreedomNeedsFairness) {
+  const Nfa system = peterson_system();
+  const Buchi behaviors = limit_of_prefix_closed(system);
+  const Labeling lambda = Labeling::canonical(system.alphabet());
+  const Formula starvation_free = parse_ltl("G(req_0 -> F enter_0)");
+
+  // Without fairness the scheduler can simply never run process 0 again.
+  EXPECT_FALSE(satisfies(behaviors, starvation_free, lambda));
+  // But no prefix is doomed: relative liveness.
+  EXPECT_TRUE(relative_liveness(behaviors, starvation_free, lambda).holds);
+  // And strong fairness realizes it — Peterson's guarantee.
+  const auto fair = check_fair_satisfaction(behaviors, starvation_free,
+                                            lambda);
+  EXPECT_TRUE(fair.all_fair_runs_satisfy);
+}
+
+TEST(Peterson, EntryAlwaysReachable) {
+  // Branching view: from every reachable state, each process can still
+  // eventually enter (no deadlock or lockout configuration exists).
+  const Nfa system = peterson_system();
+  EXPECT_TRUE(ctl_holds(system, parse_ctl("AG EF can(enter_0)")));
+  EXPECT_TRUE(ctl_holds(system, parse_ctl("AG EF can(enter_1)")));
+  EXPECT_TRUE(ctl_holds(system, parse_ctl("AG !deadlock")));
+}
+
+TEST(Peterson, BoundedOvertakingFromTheDoorway) {
+  // Peterson gives 1-bounded overtaking measured from the end of the
+  // doorway (flag set, turn surrendered — the turn_0 action): process 1
+  // then enters at most once before process 0 does, and process 0's entry
+  // is in fact inevitable (blocked-out process 1 leaves enter_0 as the
+  // only exit). Encoded with nested untils, the property holds *outright*.
+  const Nfa system = peterson_system();
+  const Buchi behaviors = limit_of_prefix_closed(system);
+  const Labeling lambda = Labeling::canonical(system.alphabet());
+  const Formula bounded = parse_ltl(
+      "G(turn_0 -> ((!enter_1 && !enter_0) U (enter_0 || "
+      "(enter_1 && X((!enter_1 && !enter_0) U enter_0)))))");
+  EXPECT_TRUE(satisfies(behaviors, bounded, lambda));
+
+  // Anchored at req_0 instead — before the flag is raised — overtaking is
+  // unbounded: process 1 can enter twice while process 0 still sits in the
+  // doorway, which irrevocably violates the formula. Not even relative
+  // liveness, and the checker produces the doomed prefix.
+  const Formula from_req = parse_ltl(
+      "G(req_0 -> ((!enter_1 && !enter_0) U (enter_0 || "
+      "(enter_1 && X((!enter_1 && !enter_0) U enter_0)))))");
+  const auto rl = relative_liveness(behaviors, from_req, lambda);
+  EXPECT_FALSE(rl.holds);
+  ASSERT_TRUE(rl.violating_prefix.has_value());
+  EXPECT_TRUE(system.accepts(*rl.violating_prefix));
+}
+
+}  // namespace
+}  // namespace rlv

@@ -1,0 +1,117 @@
+// Tests for the Petri-net substrate (rlv_petri): firing rule, read arcs,
+// reachability graphs (Figure 1 → Figure 2), deadlock detection, the
+// boundedness guard, and the scalable families' state-space sizes.
+
+#include <gtest/gtest.h>
+
+#include "rlv/gen/families.hpp"
+#include "rlv/lang/inclusion.hpp"
+#include "rlv/lang/ops.hpp"
+#include "rlv/petri/net.hpp"
+#include "rlv/petri/reachability.hpp"
+
+namespace rlv {
+namespace {
+
+TEST(PetriNet, FiringRule) {
+  PetriNet net;
+  const PlaceId p = net.add_place("p", 2);
+  const PlaceId q = net.add_place("q", 0);
+  const TransId t = net.add_transition("t");
+  net.add_input(t, p, 2);
+  net.add_output(t, q, 1);
+
+  const Marking m0 = net.initial_marking();
+  EXPECT_TRUE(net.enabled(t, m0));
+  const Marking m1 = net.fire(t, m0);
+  EXPECT_EQ(m1[p], 0u);
+  EXPECT_EQ(m1[q], 1u);
+  EXPECT_FALSE(net.enabled(t, m1));
+  EXPECT_TRUE(net.is_deadlock(m1));
+}
+
+TEST(PetriNet, ReadArcDoesNotConsume) {
+  PetriNet net;
+  const PlaceId flag = net.add_place("flag", 1);
+  const PlaceId work = net.add_place("work", 1);
+  const TransId t = net.add_transition("t");
+  net.add_read(t, flag);
+  net.add_input(t, work);
+
+  const Marking m1 = net.fire(t, net.initial_marking());
+  EXPECT_EQ(m1[flag], 1u);
+  EXPECT_EQ(m1[work], 0u);
+}
+
+TEST(Reachability, Figure1GraphMatchesFigure2) {
+  const ReachabilityGraph graph = build_reachability_graph(figure1_net());
+  EXPECT_TRUE(graph.complete);
+  EXPECT_EQ(graph.system.num_states(), 8u);
+  EXPECT_TRUE(graph.deadlocks.empty());
+
+  const Nfa fig2 = figure2_system();
+  const Nfa remapped = remap_alphabet(graph.system, fig2.alphabet());
+  EXPECT_TRUE(nfa_equivalent(remapped, fig2));
+}
+
+TEST(Reachability, BoundedGuardTriggers) {
+  // Unbounded net: a transition that only produces.
+  PetriNet net;
+  const PlaceId p = net.add_place("p", 1);
+  const TransId t = net.add_transition("grow");
+  net.add_read(t, p);
+  net.add_output(t, p);
+  ReachabilityOptions options;
+  options.max_states = 16;
+  const ReachabilityGraph graph = build_reachability_graph(net, options);
+  EXPECT_FALSE(graph.complete);
+  EXPECT_EQ(graph.system.num_states(), 16u);
+}
+
+TEST(Reachability, ProducerConsumerStateCount) {
+  // Buffer occupancy 0..capacity → capacity+1 markings.
+  for (std::size_t cap = 1; cap <= 5; ++cap) {
+    const ReachabilityGraph graph =
+        build_reachability_graph(producer_consumer_net(cap));
+    EXPECT_TRUE(graph.complete);
+    EXPECT_EQ(graph.system.num_states(), cap + 1);
+    EXPECT_TRUE(graph.deadlocks.empty());
+  }
+}
+
+TEST(Reachability, ResourceServerScaling) {
+  // 2 resource states × 4 phases per client.
+  for (std::size_t n = 1; n <= 3; ++n) {
+    const ReachabilityGraph graph =
+        build_reachability_graph(resource_server_net(n));
+    EXPECT_TRUE(graph.complete);
+    std::size_t expected = 2;
+    for (std::size_t i = 0; i < n; ++i) expected *= 4;
+    EXPECT_EQ(graph.system.num_states(), expected) << "n=" << n;
+    EXPECT_TRUE(graph.deadlocks.empty());
+  }
+}
+
+TEST(Reachability, GraphIsPrefixClosedTransitionSystem) {
+  const ReachabilityGraph graph = build_reachability_graph(figure1_net());
+  for (State s = 0; s < graph.system.num_states(); ++s) {
+    EXPECT_TRUE(graph.system.is_accepting(s));
+  }
+  EXPECT_TRUE(is_prefix_closed(graph.system));
+}
+
+TEST(Reachability, DeadlockDetection) {
+  PetriNet net;
+  const PlaceId p = net.add_place("p", 1);
+  const PlaceId q = net.add_place("q", 0);
+  const TransId t = net.add_transition("t");
+  net.add_input(t, p);
+  net.add_output(t, q);
+  const ReachabilityGraph graph = build_reachability_graph(net);
+  EXPECT_EQ(graph.system.num_states(), 2u);
+  ASSERT_EQ(graph.deadlocks.size(), 1u);
+  EXPECT_EQ(graph.markings[graph.deadlocks[0]][q], 1u);
+}
+
+}  // namespace
+}  // namespace rlv

@@ -1,0 +1,162 @@
+// Tests for the abstraction pipeline (Sections 6–8, experiments E3/E8):
+// Theorem 8.2 (simple homomorphism ⟹ relative liveness transfers to the
+// concrete system), Theorem 8.3 (the converse direction, no simplicity
+// needed), Corollary 8.4, and the paper's Figure 2 / Figure 3 contrast —
+// the abstract verdict is identical for both, and only simplicity tells
+// the sound transfer apart from the unsound one.
+
+#include <gtest/gtest.h>
+
+#include "rlv/core/preservation.hpp"
+#include "rlv/gen/families.hpp"
+#include "rlv/gen/random.hpp"
+#include "rlv/hom/image.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/ltl/pnf.hpp"
+#include "rlv/ltl/transform.hpp"
+#include "rlv/util/rng.hpp"
+
+namespace rlv {
+namespace {
+
+TEST(Preservation, HomLabeling) {
+  const Nfa fig2 = figure2_system();
+  const Homomorphism h = paper_abstraction(fig2.alphabet());
+  const Labeling lambda = hom_labeling(h);
+  EXPECT_TRUE(lambda.holds(fig2.alphabet()->id("request"), "request"));
+  EXPECT_TRUE(
+      lambda.holds(fig2.alphabet()->id("lock"), std::string(kEpsilonAtom)));
+  EXPECT_FALSE(lambda.holds(fig2.alphabet()->id("lock"), "request"));
+}
+
+TEST(Preservation, MaximalWordDetection) {
+  auto sigma = Alphabet::make({"a", "b"});
+  Nfa with_max(sigma);
+  const State s0 = with_max.add_state(true);
+  const State s1 = with_max.add_state(true);
+  with_max.add_transition(s0, sigma->id("a"), s0);
+  with_max.add_transition(s0, sigma->id("b"), s1);
+  with_max.set_initial(s0);
+  EXPECT_TRUE(has_maximal_words(with_max));
+  EXPECT_FALSE(has_maximal_words(extend_maximal_words(with_max)));
+  EXPECT_FALSE(has_maximal_words(figure2_system()));
+}
+
+TEST(Preservation, Figure2PipelineTransfersPositively) {
+  const Nfa fig2 = figure2_system();
+  const Homomorphism h = paper_abstraction(fig2.alphabet());
+  const Formula eta = to_pnf(parse_ltl("G F result"));
+
+  const AbstractionVerdict verdict = verify_via_abstraction(fig2, h, eta);
+  EXPECT_TRUE(verdict.abstract_holds);
+  EXPECT_TRUE(verdict.simplicity.simple);
+  EXPECT_FALSE(verdict.image_has_maximal_words);
+  ASSERT_TRUE(verdict.concrete_holds.has_value());
+  EXPECT_TRUE(*verdict.concrete_holds);
+  EXPECT_LT(verdict.abstract_states, verdict.concrete_states);
+
+  // The transferred verdict matches the direct concrete check.
+  EXPECT_TRUE(concrete_relative_liveness(fig2, h, eta));
+}
+
+TEST(Preservation, Figure3PipelineRefusesTransfer) {
+  const Nfa fig3 = figure3_system();
+  const Homomorphism h = paper_abstraction(fig3.alphabet());
+  const Formula eta = to_pnf(parse_ltl("G F result"));
+
+  const AbstractionVerdict verdict = verify_via_abstraction(fig3, h, eta);
+  // Abstractly the property looks fine (Figure 4 satisfies it) ...
+  EXPECT_TRUE(verdict.abstract_holds);
+  // ... but the homomorphism is not simple, so no conclusion is drawn.
+  EXPECT_FALSE(verdict.simplicity.simple);
+  EXPECT_FALSE(verdict.concrete_holds.has_value());
+
+  // And indeed the concrete property FAILS — transferring blindly would
+  // have been unsound (this is exactly the paper's warning).
+  EXPECT_FALSE(concrete_relative_liveness(fig3, h, eta));
+}
+
+TEST(Preservation, AbstractFailureRefutesConcretely) {
+  // Theorem 8.3 contrapositive: abstract failure ⟹ concrete failure.
+  // Property "G F reject" fails on the abstraction (Figure 4 can answer
+  // result forever), so it must fail concretely on Figure 2 as well.
+  const Nfa fig2 = figure2_system();
+  const Homomorphism h = paper_abstraction(fig2.alphabet());
+  const Formula eta = to_pnf(parse_ltl("G F reject"));
+
+  // "G F reject" IS relative liveness of Figure 4 (can always reject) —
+  // pick a property that genuinely fails abstractly instead: "F reject"
+  // is RL too... use one that is refutable: "G reject".
+  const Formula hard = to_pnf(parse_ltl("G reject"));
+  const AbstractionVerdict verdict = verify_via_abstraction(fig2, h, hard);
+  EXPECT_FALSE(verdict.abstract_holds);
+  ASSERT_TRUE(verdict.concrete_holds.has_value());
+  EXPECT_FALSE(*verdict.concrete_holds);
+  EXPECT_FALSE(concrete_relative_liveness(fig2, h, hard));
+  (void)eta;
+}
+
+TEST(Preservation, TransformedFormulaMentionsEpsilon) {
+  const Nfa fig2 = figure2_system();
+  const Homomorphism h = paper_abstraction(fig2.alphabet());
+  const AbstractionVerdict verdict =
+      verify_via_abstraction(fig2, h, to_pnf(parse_ltl("G F result")));
+  const auto atoms = verdict.transformed.atoms();
+  EXPECT_NE(std::find(atoms.begin(), atoms.end(), std::string(kEpsilonAtom)),
+            atoms.end());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests for Theorems 8.2 / 8.3 on random systems.
+
+class PreservationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PreservationProperty, Theorem82SimpleTransfersSoundly) {
+  Rng rng(GetParam() * 40503 + 19);
+  auto sigma = random_alphabet(3);
+  const Nfa ts = random_transition_system(rng, 2 + rng.next_below(4), sigma);
+  if (ts.num_states() == 0) return;
+  const Homomorphism h = random_homomorphism(rng, sigma, 2, 30);
+
+  // Side condition of Thm 8.2: h(L) without maximal words. Our transition
+  // systems have none concretely, but hiding can create them abstractly —
+  // skip those samples.
+  const Nfa abstract = image_nfa(ts, h);
+  if (abstract.num_states() == 0 || has_maximal_words(abstract)) return;
+
+  const Formula eta = to_pnf(
+      random_formula(rng, {h.target()->name(0), h.target()->name(1)}, 2));
+
+  if (!check_simplicity(ts, h).simple) return;
+  const bool abstract_rl = abstract_relative_liveness(ts, h, eta);
+  const bool concrete_rl = concrete_relative_liveness(ts, h, eta);
+  // Corollary 8.4: with simplicity the two verdicts coincide.
+  EXPECT_EQ(abstract_rl, concrete_rl) << eta.to_string();
+}
+
+TEST_P(PreservationProperty, Theorem83ConverseNeedsNoSimplicity) {
+  Rng rng(GetParam() * 69069 + 3);
+  auto sigma = random_alphabet(3);
+  const Nfa ts = random_transition_system(rng, 2 + rng.next_below(4), sigma);
+  if (ts.num_states() == 0) return;
+  const Homomorphism h = random_homomorphism(rng, sigma, 2, 30);
+  const Nfa abstract = image_nfa(ts, h);
+  if (abstract.num_states() == 0 || has_maximal_words(abstract)) return;
+
+  const Formula eta = to_pnf(
+      random_formula(rng, {h.target()->name(0), h.target()->name(1)}, 2));
+
+  const bool concrete_rl = concrete_relative_liveness(ts, h, eta);
+  const bool abstract_rl = abstract_relative_liveness(ts, h, eta);
+  // Thm 8.3: concrete R̄(η) relative liveness ⟹ abstract η relative
+  // liveness (equivalently: abstract failure ⟹ concrete failure).
+  if (concrete_rl) {
+    EXPECT_TRUE(abstract_rl) << eta.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreservationProperty,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace rlv

@@ -1,0 +1,188 @@
+// Tests for weak (justice) vs strong transition fairness — the fairness-zoo
+// distinction the paper's introduction uses to motivate relative liveness.
+// The classical separating example: a transition that is enabled infinitely
+// often but never *continuously* is forced by strong fairness only.
+
+#include <gtest/gtest.h>
+
+#include "rlv/fair/fair_check.hpp"
+#include "rlv/fair/fairness.hpp"
+#include "rlv/gen/families.hpp"
+#include "rlv/gen/random.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/omega/lasso.hpp"
+#include "rlv/omega/limit.hpp"
+#include "rlv/util/rng.hpp"
+
+namespace rlv {
+namespace {
+
+/// The separating system: s0 -a-> s1, s1 -b-> s0 (a ping-pong loop), and an
+/// exit s0 -c-> s2, s2 -d-> s2. The exit is enabled infinitely often on the
+/// ping-pong but never continuously (s1 interrupts).
+Nfa ping_pong_exit() {
+  auto sigma = Alphabet::make({"a", "b", "c", "d"});
+  Nfa nfa(sigma);
+  const State s0 = nfa.add_state(true);
+  const State s1 = nfa.add_state(true);
+  const State s2 = nfa.add_state(true);
+  nfa.add_transition(s0, sigma->id("a"), s1);
+  nfa.add_transition(s1, sigma->id("b"), s0);
+  nfa.add_transition(s0, sigma->id("c"), s2);
+  nfa.add_transition(s2, sigma->id("d"), s2);
+  nfa.set_initial(s0);
+  return nfa;
+}
+
+TEST(WeakFairness, SeparatingExample) {
+  const Nfa system_graph = ping_pong_exit();
+  const Buchi system = limit_of_prefix_closed(system_graph);
+  const Labeling lambda = Labeling::canonical(system_graph.alphabet());
+  const Formula exit_taken = parse_ltl("F c");
+
+  // Strong fairness forces the exit: at s0 infinitely often means c is
+  // enabled infinitely often.
+  const auto strong = check_fair_satisfaction(
+      system, exit_taken, lambda, FairnessKind::kStrongTransition);
+  EXPECT_TRUE(strong.all_fair_runs_satisfy);
+
+  // Weak fairness does not: (ab)^ω never continuously enables c.
+  const auto weak = check_fair_satisfaction(system, exit_taken, lambda,
+                                            FairnessKind::kWeakTransition);
+  EXPECT_FALSE(weak.all_fair_runs_satisfy);
+  ASSERT_TRUE(weak.counterexample.has_value());
+  // The weakly fair counterexample must be the ping-pong (c never taken).
+  const Symbol c = system_graph.alphabet()->id("c");
+  for (const Symbol x : weak.counterexample->period) EXPECT_NE(x, c);
+  EXPECT_TRUE(accepts_lasso(system, *weak.counterexample));
+}
+
+TEST(WeakFairness, ContinuouslyEnabledIsForced) {
+  // One state, two self-loops: both loops are continuously enabled, so even
+  // weak fairness forces both.
+  const Nfa ab = section5_ab_system();
+  const Buchi system = limit_of_prefix_closed(ab);
+  const Labeling lambda = Labeling::canonical(ab.alphabet());
+  for (const char* f : {"G F a", "G F b"}) {
+    EXPECT_TRUE(check_fair_satisfaction(system, parse_ltl(f), lambda,
+                                        FairnessKind::kWeakTransition)
+                    .all_fair_runs_satisfy)
+        << f;
+  }
+}
+
+TEST(WeakFairness, StreettPairCounts) {
+  const Nfa system_graph = ping_pong_exit();
+  const StreettAutomaton strong = make_fairness_streett(
+      system_graph, FairnessKind::kStrongTransition);
+  const StreettAutomaton weak =
+      make_fairness_streett(system_graph, FairnessKind::kWeakTransition);
+  EXPECT_EQ(strong.pairs().size(), system_graph.num_transitions());
+  EXPECT_EQ(weak.pairs().size(), system_graph.num_transitions());
+  // The weak pairs have the all-edges antecedent.
+  for (const StreettPair& pair : weak.pairs()) {
+    EXPECT_EQ(pair.antecedent.count(), weak.num_edges());
+  }
+}
+
+class WeakFairnessProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeakFairnessProperty, WeakVerdictImpliesStrongVerdict) {
+  // Strongly fair runs are a subset of weakly fair runs, so "all weakly
+  // fair runs satisfy f" implies "all strongly fair runs satisfy f".
+  Rng rng(GetParam() * 48611 + 29);
+  auto sigma = random_alphabet(2);
+  const Nfa ts = random_transition_system(rng, 2 + rng.next_below(3), sigma);
+  if (ts.num_states() == 0) return;
+  const Buchi system = limit_of_prefix_closed(ts);
+  const Labeling lambda = Labeling::canonical(sigma);
+  const Formula f =
+      random_formula(rng, {sigma->name(0), sigma->name(1)}, 3);
+
+  const bool weak = check_fair_satisfaction(system, f, lambda,
+                                            FairnessKind::kWeakTransition)
+                        .all_fair_runs_satisfy;
+  const bool strong = check_fair_satisfaction(
+                          system, f, lambda, FairnessKind::kStrongTransition)
+                          .all_fair_runs_satisfy;
+  if (weak) {
+    EXPECT_TRUE(strong) << f.to_string();
+  }
+}
+
+TEST_P(WeakFairnessProperty, CounterexamplesAreGenuineBehaviors) {
+  Rng rng(GetParam() * 96293 + 83);
+  auto sigma = random_alphabet(2);
+  const Nfa ts = random_transition_system(rng, 2 + rng.next_below(3), sigma);
+  if (ts.num_states() == 0) return;
+  const Buchi system = limit_of_prefix_closed(ts);
+  const Labeling lambda = Labeling::canonical(sigma);
+  const Formula f =
+      random_formula(rng, {sigma->name(0), sigma->name(1)}, 3);
+
+  for (const FairnessKind kind :
+       {FairnessKind::kStrongTransition, FairnessKind::kWeakTransition}) {
+    const auto res = check_fair_satisfaction(system, f, lambda, kind);
+    if (res.counterexample) {
+      EXPECT_TRUE(accepts_lasso(system, *res.counterexample))
+          << f.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeakFairnessProperty,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+// ---------------------------------------------------------------------------
+// Process fairness (coarse groups).
+
+TEST(ProcessFairness, PerProcessGroupsForceTheExit) {
+  // Processes: P1 = {a, b} (ping-pong), P2 = {c, d} (exit). P2 is enabled
+  // infinitely often on the ping-pong, so process fairness forces it to
+  // act: every fair run ends in the d-loop.
+  const Nfa system = ping_pong_exit();
+  StreettAutomaton streett(system);
+  // Build explicit groups: P1 = a ∪ b edges, P2 = c ∪ d edges.
+  const auto by_letter = group_edges_by_prefix(streett, {"a", "b", "c", "d"});
+  DynBitset p1 = by_letter[0];
+  p1 |= by_letter[1];
+  DynBitset p2 = by_letter[2];
+  p2 |= by_letter[3];
+  add_process_fairness_pairs(streett, {p1, p2});
+
+  const auto lasso = find_fair_lasso(streett);
+  ASSERT_TRUE(lasso.has_value());
+  const Symbol d = system.alphabet()->id("d");
+  for (const Symbol s : lasso->period) EXPECT_EQ(s, d);
+}
+
+TEST(ProcessFairness, OneCoarseGroupAllowsThePingPong) {
+  // With every edge in a single process, the ping-pong is fair (the process
+  // acts at every step): process fairness is strictly coarser than strong
+  // transition fairness, which would force the exit.
+  const Nfa system = ping_pong_exit();
+  StreettAutomaton streett(system);
+  DynBitset all = streett.edge_set();
+  for (EdgeId e = 0; e < streett.num_edges(); ++e) all.set(e);
+  add_process_fairness_pairs(streett, {all});
+
+  const auto lasso = find_fair_lasso(streett);
+  ASSERT_TRUE(lasso.has_value());
+  // The witness search finds the first fair SCC — the ping-pong — whose
+  // period avoids c entirely.
+  const Symbol c = system.alphabet()->id("c");
+  for (const Symbol s : lasso->period) EXPECT_NE(s, c);
+}
+
+TEST(ProcessFairness, GroupingByPrefix) {
+  const Nfa system = ping_pong_exit();
+  const StreettAutomaton streett(system);
+  const auto groups = group_edges_by_prefix(streett, {"a", "c", "nosuch"});
+  EXPECT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].count(), 1u);
+  EXPECT_EQ(groups[1].count(), 1u);
+  EXPECT_TRUE(groups[2].none());
+}
+
+}  // namespace
+}  // namespace rlv

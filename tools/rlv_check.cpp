@@ -1,0 +1,293 @@
+// rlv_check — command-line front end for the library.
+//
+// Usage:
+//   rlv_check <system-file> --ltl "<formula>" [options]
+//
+// The system file uses the format of rlv/io/format.hpp and is interpreted
+// as a transition system (prefix-closed behavior language; its ω-behaviors
+// are the limit). Modes:
+//
+//   --check rl          relative liveness (default)
+//   --check rs          relative safety
+//   --check sat         classical satisfaction
+//   --check fair        all strongly fair runs satisfy the formula?
+//   --check fairweak    same under weak (justice) transition fairness
+//   --check synth       Theorem 5.1 synthesis; prints the implementation
+//   --check doom        monitor a trace (--trace "a b c"): report when the
+//                       property stops being realizable (relative-liveness
+//                       doom detection)
+//   --hom <file>        run the abstraction pipeline (Sections 6-8): check
+//                       the formula on the abstraction, certify simplicity,
+//                       transfer by Theorem 8.2/8.3
+//   --property-aut <f>  property given as a Büchi automaton file instead of
+//                       --ltl (relative safety then uses rank-based
+//                       complementation — exponential, keep it small)
+//   --explain           annotate counterexample lassos with the state sets
+//                       they traverse
+//   --dot               print the system in GraphViz format and exit
+//
+// Exit status: 0 = property verdict positive, 1 = negative, 2 = usage or
+// input error, 3 = no sound conclusion (abstraction pipeline, non-simple).
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "rlv/core/fair_synthesis.hpp"
+#include "rlv/core/monitor.hpp"
+#include "rlv/core/preservation.hpp"
+#include "rlv/core/relative.hpp"
+#include "rlv/fair/fair_check.hpp"
+#include "rlv/io/format.hpp"
+#include "rlv/lang/ops.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/ltl/pnf.hpp"
+#include "rlv/omega/lasso.hpp"
+#include "rlv/omega/limit.hpp"
+
+namespace {
+
+using namespace rlv;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rlv_check <system-file> --ltl \"<formula>\"\n"
+               "       [--check rl|rs|sat|fair|synth] [--hom <file>] "
+               "[--dot]\n");
+  return 2;
+}
+
+void print_lasso(const char* label, const Lasso& lasso,
+                 const AlphabetRef& sigma) {
+  std::printf("%s: %s (%s)^w\n", label, sigma->format(lasso.prefix).c_str(),
+              sigma->format(lasso.period).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string system_path = argv[1];
+  std::string formula_text;
+  std::string mode = "rl";
+  std::string hom_path;
+  std::string trace_text;
+  std::string property_path;
+  bool dot = false;
+  bool explain = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--ltl" && i + 1 < argc) {
+      formula_text = argv[++i];
+    } else if (arg == "--check" && i + 1 < argc) {
+      mode = argv[++i];
+    } else if (arg == "--hom" && i + 1 < argc) {
+      hom_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_text = argv[++i];
+    } else if (arg == "--property-aut" && i + 1 < argc) {
+      property_path = argv[++i];
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--dot") {
+      dot = true;
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    const Nfa system = parse_system(read_file(system_path));
+    if (dot) {
+      std::fputs(to_dot(system).c_str(), stdout);
+      return 0;
+    }
+
+    // Automaton-given property: relative liveness / safety / satisfaction
+    // against a Büchi automaton file (over the same action names).
+    if (!property_path.empty()) {
+      const Buchi behaviors = limit_of_prefix_closed(system);
+      const Nfa raw = parse_system(read_file(property_path));
+      const Buchi property =
+          Buchi::from_structure(remap_alphabet(raw, system.alphabet()));
+      if (mode == "rl") {
+        const auto res = relative_liveness(behaviors, property);
+        std::printf("relative liveness: %s\n", res.holds ? "HOLDS" : "FAILS");
+        if (res.violating_prefix) {
+          std::printf("doomed prefix: %s\n",
+                      system.alphabet()->format(*res.violating_prefix).c_str());
+        }
+        return res.holds ? 0 : 1;
+      }
+      if (mode == "rs") {
+        const auto res = relative_safety(behaviors, property);
+        std::printf("relative safety: %s\n", res.holds ? "HOLDS" : "FAILS");
+        if (res.counterexample) {
+          print_lasso("counterexample", *res.counterexample,
+                      system.alphabet());
+          if (explain) {
+            std::fputs(explain_lasso(system, res.counterexample->prefix,
+                                     res.counterexample->period)
+                           .c_str(),
+                       stdout);
+          }
+        }
+        return res.holds ? 0 : 1;
+      }
+      if (mode == "sat") {
+        const bool ok = satisfies(behaviors, property);
+        std::printf("satisfaction: %s\n", ok ? "HOLDS" : "FAILS");
+        return ok ? 0 : 1;
+      }
+      return usage();
+    }
+
+    if (formula_text.empty()) return usage();
+    const Formula formula = parse_ltl(formula_text);
+
+    if (!hom_path.empty()) {
+      const Homomorphism h =
+          parse_homomorphism(read_file(hom_path), system.alphabet());
+      const AbstractionVerdict verdict =
+          verify_via_abstraction(system, h, to_pnf(formula));
+      std::printf("abstract states: %zu (concrete: %zu)\n",
+                  verdict.abstract_states, verdict.concrete_states);
+      std::printf("abstract relative liveness: %s\n",
+                  verdict.abstract_holds ? "holds" : "fails");
+      std::printf("homomorphism simple: %s\n",
+                  verdict.simplicity.simple ? "yes" : "no");
+      if (verdict.image_has_maximal_words) {
+        std::printf("warning: h(L) has maximal words; Theorems 8.2/8.3 side "
+                    "condition violated\n");
+      }
+      if (verdict.concrete_holds) {
+        std::printf("conclusion: concrete relative liveness %s\n",
+                    *verdict.concrete_holds ? "HOLDS" : "FAILS");
+        return *verdict.concrete_holds ? 0 : 1;
+      }
+      std::printf("conclusion: none (certification failed)\n");
+      return 3;
+    }
+
+    const Buchi behaviors = limit_of_prefix_closed(system);
+    const Labeling lambda = Labeling::canonical(system.alphabet());
+
+    if (mode == "rl") {
+      const auto res = relative_liveness(behaviors, formula, lambda);
+      std::printf("relative liveness: %s\n", res.holds ? "HOLDS" : "FAILS");
+      if (res.violating_prefix) {
+        std::printf("doomed prefix: %s\n",
+                    system.alphabet()->format(*res.violating_prefix).c_str());
+      }
+      return res.holds ? 0 : 1;
+    }
+    if (mode == "rs") {
+      const auto res = relative_safety(behaviors, formula, lambda);
+      std::printf("relative safety: %s\n", res.holds ? "HOLDS" : "FAILS");
+      if (res.counterexample) {
+        print_lasso("counterexample", *res.counterexample, system.alphabet());
+        if (explain) {
+          std::fputs(explain_lasso(system, res.counterexample->prefix,
+                                   res.counterexample->period)
+                         .c_str(),
+                     stdout);
+        }
+      }
+      return res.holds ? 0 : 1;
+    }
+    if (mode == "sat") {
+      const bool ok = satisfies(behaviors, formula, lambda);
+      std::printf("satisfaction: %s\n", ok ? "HOLDS" : "FAILS");
+      return ok ? 0 : 1;
+    }
+    if (mode == "fair" || mode == "fairweak") {
+      const FairnessKind kind = (mode == "fair")
+                                    ? FairnessKind::kStrongTransition
+                                    : FairnessKind::kWeakTransition;
+      const auto res =
+          check_fair_satisfaction(behaviors, formula, lambda, kind);
+      std::printf("all %s fair runs satisfy: %s\n",
+                  mode == "fair" ? "strongly" : "weakly",
+                  res.all_fair_runs_satisfy ? "YES" : "NO");
+      if (res.counterexample) {
+        print_lasso("fair violating run", *res.counterexample,
+                    system.alphabet());
+      }
+      return res.all_fair_runs_satisfy ? 0 : 1;
+    }
+    if (mode == "doom" && trace_text.empty()) {
+      // No trace: search for the globally shortest doomed prefix.
+      DoomMonitor monitor(behaviors, formula, lambda);
+      const auto doom = monitor.shortest_doomed_prefix();
+      if (!doom) {
+        std::printf("no doomed prefix exists: the property is a relative "
+                    "liveness property\n");
+        return 0;
+      }
+      std::printf("shortest doomed prefix (%zu steps): %s\n", doom->size(),
+                  system.alphabet()->format(*doom).c_str());
+      if (explain) {
+        std::fputs(explain_word(system, *doom).c_str(), stdout);
+      }
+      return 1;
+    }
+    if (mode == "doom") {
+      DoomMonitor monitor(behaviors, formula, lambda);
+      // Parse the whitespace-separated trace against the system alphabet.
+      Word trace;
+      std::string token;
+      for (const char c : trace_text + " ") {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+          if (!token.empty()) {
+            if (!system.alphabet()->contains(token)) {
+              std::fprintf(stderr, "error: unknown action '%s'\n",
+                           token.c_str());
+              return 2;
+            }
+            trace.push_back(system.alphabet()->id(token));
+            token.clear();
+          }
+        } else {
+          token += c;
+        }
+      }
+      std::size_t first_doom = 0;
+      const MonitorVerdict verdict = monitor.run(trace, &first_doom);
+      switch (verdict) {
+        case MonitorVerdict::kSatisfiable:
+          std::printf("trace ok: the property is still realizable\n");
+          return 0;
+        case MonitorVerdict::kDoomed:
+          std::printf("DOOMED at step %zu (action '%s'): no continuation "
+                      "can satisfy the property\n",
+                      first_doom,
+                      system.alphabet()->name(trace[first_doom]).c_str());
+          return 1;
+        case MonitorVerdict::kLeftSystem:
+          std::printf("trace left the system at step %zu\n", first_doom);
+          return 1;
+      }
+    }
+    if (mode == "synth") {
+      const auto rl = relative_liveness(behaviors, formula, lambda);
+      if (!rl.holds) {
+        std::printf("not a relative liveness property; Theorem 5.1 does not "
+                    "apply\n");
+        return 1;
+      }
+      const FairImplementation impl =
+          synthesize_fair_implementation(behaviors, formula, lambda);
+      std::printf("# synthesized implementation (%zu states); all strongly "
+                  "fair runs satisfy the property\n",
+                  impl.system.num_states());
+      std::fputs(serialize_system(impl.system.structure()).c_str(), stdout);
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
