@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complementation.dir/bench_complementation.cpp.o"
+  "CMakeFiles/bench_complementation.dir/bench_complementation.cpp.o.d"
+  "bench_complementation"
+  "bench_complementation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complementation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compositional.dir/bench_compositional.cpp.o"
+  "CMakeFiles/bench_compositional.dir/bench_compositional.cpp.o.d"
+  "bench_compositional"
+  "bench_compositional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compositional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

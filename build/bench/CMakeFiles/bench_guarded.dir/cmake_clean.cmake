@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guarded.dir/bench_guarded.cpp.o"
+  "CMakeFiles/bench_guarded.dir/bench_guarded.cpp.o.d"
+  "bench_guarded"
+  "bench_guarded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guarded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ltl_translate.dir/bench_ltl_translate.cpp.o"
+  "CMakeFiles/bench_ltl_translate.dir/bench_ltl_translate.cpp.o.d"
+  "bench_ltl_translate"
+  "bench_ltl_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ltl_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_relative_safety.dir/bench_relative_safety.cpp.o"
+  "CMakeFiles/bench_relative_safety.dir/bench_relative_safety.cpp.o.d"
+  "bench_relative_safety"
+  "bench_relative_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relative_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

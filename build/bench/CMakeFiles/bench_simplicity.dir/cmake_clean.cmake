@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simplicity.dir/bench_simplicity.cpp.o"
+  "CMakeFiles/bench_simplicity.dir/bench_simplicity.cpp.o.d"
+  "bench_simplicity"
+  "bench_simplicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simplicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

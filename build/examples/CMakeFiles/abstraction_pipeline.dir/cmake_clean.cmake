@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstraction_pipeline.dir/abstraction_pipeline.cpp.o"
+  "CMakeFiles/abstraction_pipeline.dir/abstraction_pipeline.cpp.o.d"
+  "abstraction_pipeline"
+  "abstraction_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstraction_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

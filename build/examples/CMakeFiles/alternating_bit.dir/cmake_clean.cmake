@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alternating_bit.dir/alternating_bit.cpp.o"
+  "CMakeFiles/alternating_bit.dir/alternating_bit.cpp.o.d"
+  "alternating_bit"
+  "alternating_bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alternating_bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alternating_bit.
+# This may be replaced when dependencies are built.

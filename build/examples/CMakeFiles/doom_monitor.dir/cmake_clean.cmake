@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doom_monitor.dir/doom_monitor.cpp.o"
+  "CMakeFiles/doom_monitor.dir/doom_monitor.cpp.o.d"
+  "doom_monitor"
+  "doom_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doom_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_implementation.dir/fair_implementation.cpp.o"
+  "CMakeFiles/fair_implementation.dir/fair_implementation.cpp.o.d"
+  "fair_implementation"
+  "fair_implementation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_implementation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

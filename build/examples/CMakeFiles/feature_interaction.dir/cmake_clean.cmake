@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_interaction.dir/feature_interaction.cpp.o"
+  "CMakeFiles/feature_interaction.dir/feature_interaction.cpp.o.d"
+  "feature_interaction"
+  "feature_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

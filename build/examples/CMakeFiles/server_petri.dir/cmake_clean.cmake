@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_petri.dir/server_petri.cpp.o"
+  "CMakeFiles/server_petri.dir/server_petri.cpp.o.d"
+  "server_petri"
+  "server_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

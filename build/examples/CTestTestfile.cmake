@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;11;rlv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_server_petri]=] "/root/repo/build/examples/server_petri")
+set_tests_properties([=[example_server_petri]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;12;rlv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_fair_implementation]=] "/root/repo/build/examples/fair_implementation")
+set_tests_properties([=[example_fair_implementation]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;13;rlv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_feature_interaction]=] "/root/repo/build/examples/feature_interaction")
+set_tests_properties([=[example_feature_interaction]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;14;rlv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_doom_monitor]=] "/root/repo/build/examples/doom_monitor")
+set_tests_properties([=[example_doom_monitor]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;15;rlv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_alternating_bit]=] "/root/repo/build/examples/alternating_bit")
+set_tests_properties([=[example_alternating_bit]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;16;rlv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_mutual_exclusion]=] "/root/repo/build/examples/mutual_exclusion")
+set_tests_properties([=[example_mutual_exclusion]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;17;rlv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_abstraction_pipeline]=] "/root/repo/build/examples/abstraction_pipeline" "2")
+set_tests_properties([=[example_abstraction_pipeline]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_comp.dir/rlv/comp/abstraction.cpp.o"
+  "CMakeFiles/rlv_comp.dir/rlv/comp/abstraction.cpp.o.d"
+  "CMakeFiles/rlv_comp.dir/rlv/comp/sync.cpp.o"
+  "CMakeFiles/rlv_comp.dir/rlv/comp/sync.cpp.o.d"
+  "librlv_comp.a"
+  "librlv_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rlv/core/decomposition.cpp" "src/CMakeFiles/rlv_core.dir/rlv/core/decomposition.cpp.o" "gcc" "src/CMakeFiles/rlv_core.dir/rlv/core/decomposition.cpp.o.d"
+  "/root/repo/src/rlv/core/fair_synthesis.cpp" "src/CMakeFiles/rlv_core.dir/rlv/core/fair_synthesis.cpp.o" "gcc" "src/CMakeFiles/rlv_core.dir/rlv/core/fair_synthesis.cpp.o.d"
+  "/root/repo/src/rlv/core/machine_closure.cpp" "src/CMakeFiles/rlv_core.dir/rlv/core/machine_closure.cpp.o" "gcc" "src/CMakeFiles/rlv_core.dir/rlv/core/machine_closure.cpp.o.d"
+  "/root/repo/src/rlv/core/monitor.cpp" "src/CMakeFiles/rlv_core.dir/rlv/core/monitor.cpp.o" "gcc" "src/CMakeFiles/rlv_core.dir/rlv/core/monitor.cpp.o.d"
+  "/root/repo/src/rlv/core/preservation.cpp" "src/CMakeFiles/rlv_core.dir/rlv/core/preservation.cpp.o" "gcc" "src/CMakeFiles/rlv_core.dir/rlv/core/preservation.cpp.o.d"
+  "/root/repo/src/rlv/core/relative.cpp" "src/CMakeFiles/rlv_core.dir/rlv/core/relative.cpp.o" "gcc" "src/CMakeFiles/rlv_core.dir/rlv/core/relative.cpp.o.d"
+  "/root/repo/src/rlv/core/topology.cpp" "src/CMakeFiles/rlv_core.dir/rlv/core/topology.cpp.o" "gcc" "src/CMakeFiles/rlv_core.dir/rlv/core/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rlv_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_ltl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_hom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_fair.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

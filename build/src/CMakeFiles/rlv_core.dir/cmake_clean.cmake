@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_core.dir/rlv/core/decomposition.cpp.o"
+  "CMakeFiles/rlv_core.dir/rlv/core/decomposition.cpp.o.d"
+  "CMakeFiles/rlv_core.dir/rlv/core/fair_synthesis.cpp.o"
+  "CMakeFiles/rlv_core.dir/rlv/core/fair_synthesis.cpp.o.d"
+  "CMakeFiles/rlv_core.dir/rlv/core/machine_closure.cpp.o"
+  "CMakeFiles/rlv_core.dir/rlv/core/machine_closure.cpp.o.d"
+  "CMakeFiles/rlv_core.dir/rlv/core/monitor.cpp.o"
+  "CMakeFiles/rlv_core.dir/rlv/core/monitor.cpp.o.d"
+  "CMakeFiles/rlv_core.dir/rlv/core/preservation.cpp.o"
+  "CMakeFiles/rlv_core.dir/rlv/core/preservation.cpp.o.d"
+  "CMakeFiles/rlv_core.dir/rlv/core/relative.cpp.o"
+  "CMakeFiles/rlv_core.dir/rlv/core/relative.cpp.o.d"
+  "CMakeFiles/rlv_core.dir/rlv/core/topology.cpp.o"
+  "CMakeFiles/rlv_core.dir/rlv/core/topology.cpp.o.d"
+  "librlv_core.a"
+  "librlv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

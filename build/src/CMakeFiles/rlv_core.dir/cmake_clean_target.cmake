@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librlv_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_ctl.dir/rlv/ctl/ctl.cpp.o"
+  "CMakeFiles/rlv_ctl.dir/rlv/ctl/ctl.cpp.o.d"
+  "librlv_ctl.a"
+  "librlv_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

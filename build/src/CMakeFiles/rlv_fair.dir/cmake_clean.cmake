@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_fair.dir/rlv/fair/fair_check.cpp.o"
+  "CMakeFiles/rlv_fair.dir/rlv/fair/fair_check.cpp.o.d"
+  "CMakeFiles/rlv_fair.dir/rlv/fair/fairness.cpp.o"
+  "CMakeFiles/rlv_fair.dir/rlv/fair/fairness.cpp.o.d"
+  "CMakeFiles/rlv_fair.dir/rlv/fair/simulate.cpp.o"
+  "CMakeFiles/rlv_fair.dir/rlv/fair/simulate.cpp.o.d"
+  "librlv_fair.a"
+  "librlv_fair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_fair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rlv_fair.
+# This may be replaced when dependencies are built.

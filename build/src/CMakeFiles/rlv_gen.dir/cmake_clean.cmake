@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_gen.dir/rlv/gen/families.cpp.o"
+  "CMakeFiles/rlv_gen.dir/rlv/gen/families.cpp.o.d"
+  "CMakeFiles/rlv_gen.dir/rlv/gen/guarded.cpp.o"
+  "CMakeFiles/rlv_gen.dir/rlv/gen/guarded.cpp.o.d"
+  "CMakeFiles/rlv_gen.dir/rlv/gen/random.cpp.o"
+  "CMakeFiles/rlv_gen.dir/rlv/gen/random.cpp.o.d"
+  "librlv_gen.a"
+  "librlv_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

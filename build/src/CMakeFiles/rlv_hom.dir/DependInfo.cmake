@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rlv/hom/homomorphism.cpp" "src/CMakeFiles/rlv_hom.dir/rlv/hom/homomorphism.cpp.o" "gcc" "src/CMakeFiles/rlv_hom.dir/rlv/hom/homomorphism.cpp.o.d"
+  "/root/repo/src/rlv/hom/image.cpp" "src/CMakeFiles/rlv_hom.dir/rlv/hom/image.cpp.o" "gcc" "src/CMakeFiles/rlv_hom.dir/rlv/hom/image.cpp.o.d"
+  "/root/repo/src/rlv/hom/simplicity.cpp" "src/CMakeFiles/rlv_hom.dir/rlv/hom/simplicity.cpp.o" "gcc" "src/CMakeFiles/rlv_hom.dir/rlv/hom/simplicity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rlv_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

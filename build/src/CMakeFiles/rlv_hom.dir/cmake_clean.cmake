@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_hom.dir/rlv/hom/homomorphism.cpp.o"
+  "CMakeFiles/rlv_hom.dir/rlv/hom/homomorphism.cpp.o.d"
+  "CMakeFiles/rlv_hom.dir/rlv/hom/image.cpp.o"
+  "CMakeFiles/rlv_hom.dir/rlv/hom/image.cpp.o.d"
+  "CMakeFiles/rlv_hom.dir/rlv/hom/simplicity.cpp.o"
+  "CMakeFiles/rlv_hom.dir/rlv/hom/simplicity.cpp.o.d"
+  "librlv_hom.a"
+  "librlv_hom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_hom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_io.dir/rlv/io/format.cpp.o"
+  "CMakeFiles/rlv_io.dir/rlv/io/format.cpp.o.d"
+  "librlv_io.a"
+  "librlv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rlv/lang/alphabet.cpp" "src/CMakeFiles/rlv_lang.dir/rlv/lang/alphabet.cpp.o" "gcc" "src/CMakeFiles/rlv_lang.dir/rlv/lang/alphabet.cpp.o.d"
+  "/root/repo/src/rlv/lang/dfa.cpp" "src/CMakeFiles/rlv_lang.dir/rlv/lang/dfa.cpp.o" "gcc" "src/CMakeFiles/rlv_lang.dir/rlv/lang/dfa.cpp.o.d"
+  "/root/repo/src/rlv/lang/inclusion.cpp" "src/CMakeFiles/rlv_lang.dir/rlv/lang/inclusion.cpp.o" "gcc" "src/CMakeFiles/rlv_lang.dir/rlv/lang/inclusion.cpp.o.d"
+  "/root/repo/src/rlv/lang/nfa.cpp" "src/CMakeFiles/rlv_lang.dir/rlv/lang/nfa.cpp.o" "gcc" "src/CMakeFiles/rlv_lang.dir/rlv/lang/nfa.cpp.o.d"
+  "/root/repo/src/rlv/lang/ops.cpp" "src/CMakeFiles/rlv_lang.dir/rlv/lang/ops.cpp.o" "gcc" "src/CMakeFiles/rlv_lang.dir/rlv/lang/ops.cpp.o.d"
+  "/root/repo/src/rlv/lang/quotient.cpp" "src/CMakeFiles/rlv_lang.dir/rlv/lang/quotient.cpp.o" "gcc" "src/CMakeFiles/rlv_lang.dir/rlv/lang/quotient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rlv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_lang.dir/rlv/lang/alphabet.cpp.o"
+  "CMakeFiles/rlv_lang.dir/rlv/lang/alphabet.cpp.o.d"
+  "CMakeFiles/rlv_lang.dir/rlv/lang/dfa.cpp.o"
+  "CMakeFiles/rlv_lang.dir/rlv/lang/dfa.cpp.o.d"
+  "CMakeFiles/rlv_lang.dir/rlv/lang/inclusion.cpp.o"
+  "CMakeFiles/rlv_lang.dir/rlv/lang/inclusion.cpp.o.d"
+  "CMakeFiles/rlv_lang.dir/rlv/lang/nfa.cpp.o"
+  "CMakeFiles/rlv_lang.dir/rlv/lang/nfa.cpp.o.d"
+  "CMakeFiles/rlv_lang.dir/rlv/lang/ops.cpp.o"
+  "CMakeFiles/rlv_lang.dir/rlv/lang/ops.cpp.o.d"
+  "CMakeFiles/rlv_lang.dir/rlv/lang/quotient.cpp.o"
+  "CMakeFiles/rlv_lang.dir/rlv/lang/quotient.cpp.o.d"
+  "librlv_lang.a"
+  "librlv_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rlv/ltl/ast.cpp" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/ast.cpp.o" "gcc" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/ast.cpp.o.d"
+  "/root/repo/src/rlv/ltl/eval.cpp" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/eval.cpp.o" "gcc" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/eval.cpp.o.d"
+  "/root/repo/src/rlv/ltl/parser.cpp" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/parser.cpp.o" "gcc" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/parser.cpp.o.d"
+  "/root/repo/src/rlv/ltl/patterns.cpp" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/patterns.cpp.o" "gcc" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/patterns.cpp.o.d"
+  "/root/repo/src/rlv/ltl/pnf.cpp" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/pnf.cpp.o" "gcc" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/pnf.cpp.o.d"
+  "/root/repo/src/rlv/ltl/simplify.cpp" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/simplify.cpp.o" "gcc" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/simplify.cpp.o.d"
+  "/root/repo/src/rlv/ltl/transform.cpp" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/transform.cpp.o" "gcc" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/transform.cpp.o.d"
+  "/root/repo/src/rlv/ltl/translate.cpp" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/translate.cpp.o" "gcc" "src/CMakeFiles/rlv_ltl.dir/rlv/ltl/translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rlv_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

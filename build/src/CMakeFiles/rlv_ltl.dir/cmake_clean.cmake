@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/ast.cpp.o"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/ast.cpp.o.d"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/eval.cpp.o"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/eval.cpp.o.d"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/parser.cpp.o"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/parser.cpp.o.d"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/patterns.cpp.o"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/patterns.cpp.o.d"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/pnf.cpp.o"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/pnf.cpp.o.d"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/simplify.cpp.o"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/simplify.cpp.o.d"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/transform.cpp.o"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/transform.cpp.o.d"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/translate.cpp.o"
+  "CMakeFiles/rlv_ltl.dir/rlv/ltl/translate.cpp.o.d"
+  "librlv_ltl.a"
+  "librlv_ltl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_ltl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

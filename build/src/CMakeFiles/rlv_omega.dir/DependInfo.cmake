@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rlv/omega/buchi.cpp" "src/CMakeFiles/rlv_omega.dir/rlv/omega/buchi.cpp.o" "gcc" "src/CMakeFiles/rlv_omega.dir/rlv/omega/buchi.cpp.o.d"
+  "/root/repo/src/rlv/omega/complement.cpp" "src/CMakeFiles/rlv_omega.dir/rlv/omega/complement.cpp.o" "gcc" "src/CMakeFiles/rlv_omega.dir/rlv/omega/complement.cpp.o.d"
+  "/root/repo/src/rlv/omega/emptiness.cpp" "src/CMakeFiles/rlv_omega.dir/rlv/omega/emptiness.cpp.o" "gcc" "src/CMakeFiles/rlv_omega.dir/rlv/omega/emptiness.cpp.o.d"
+  "/root/repo/src/rlv/omega/expr.cpp" "src/CMakeFiles/rlv_omega.dir/rlv/omega/expr.cpp.o" "gcc" "src/CMakeFiles/rlv_omega.dir/rlv/omega/expr.cpp.o.d"
+  "/root/repo/src/rlv/omega/lasso.cpp" "src/CMakeFiles/rlv_omega.dir/rlv/omega/lasso.cpp.o" "gcc" "src/CMakeFiles/rlv_omega.dir/rlv/omega/lasso.cpp.o.d"
+  "/root/repo/src/rlv/omega/limit.cpp" "src/CMakeFiles/rlv_omega.dir/rlv/omega/limit.cpp.o" "gcc" "src/CMakeFiles/rlv_omega.dir/rlv/omega/limit.cpp.o.d"
+  "/root/repo/src/rlv/omega/live.cpp" "src/CMakeFiles/rlv_omega.dir/rlv/omega/live.cpp.o" "gcc" "src/CMakeFiles/rlv_omega.dir/rlv/omega/live.cpp.o.d"
+  "/root/repo/src/rlv/omega/product.cpp" "src/CMakeFiles/rlv_omega.dir/rlv/omega/product.cpp.o" "gcc" "src/CMakeFiles/rlv_omega.dir/rlv/omega/product.cpp.o.d"
+  "/root/repo/src/rlv/omega/reduce.cpp" "src/CMakeFiles/rlv_omega.dir/rlv/omega/reduce.cpp.o" "gcc" "src/CMakeFiles/rlv_omega.dir/rlv/omega/reduce.cpp.o.d"
+  "/root/repo/src/rlv/omega/streett.cpp" "src/CMakeFiles/rlv_omega.dir/rlv/omega/streett.cpp.o" "gcc" "src/CMakeFiles/rlv_omega.dir/rlv/omega/streett.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rlv_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

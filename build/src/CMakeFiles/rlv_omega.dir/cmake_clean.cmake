@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_omega.dir/rlv/omega/buchi.cpp.o"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/buchi.cpp.o.d"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/complement.cpp.o"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/complement.cpp.o.d"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/emptiness.cpp.o"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/emptiness.cpp.o.d"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/expr.cpp.o"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/expr.cpp.o.d"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/lasso.cpp.o"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/lasso.cpp.o.d"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/limit.cpp.o"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/limit.cpp.o.d"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/live.cpp.o"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/live.cpp.o.d"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/product.cpp.o"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/product.cpp.o.d"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/reduce.cpp.o"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/reduce.cpp.o.d"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/streett.cpp.o"
+  "CMakeFiles/rlv_omega.dir/rlv/omega/streett.cpp.o.d"
+  "librlv_omega.a"
+  "librlv_omega.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_omega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

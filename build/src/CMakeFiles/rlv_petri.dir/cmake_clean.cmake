@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_petri.dir/rlv/petri/net.cpp.o"
+  "CMakeFiles/rlv_petri.dir/rlv/petri/net.cpp.o.d"
+  "CMakeFiles/rlv_petri.dir/rlv/petri/reachability.cpp.o"
+  "CMakeFiles/rlv_petri.dir/rlv/petri/reachability.cpp.o.d"
+  "librlv_petri.a"
+  "librlv_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_util.dir/rlv/util/scc.cpp.o"
+  "CMakeFiles/rlv_util.dir/rlv/util/scc.cpp.o.d"
+  "librlv_util.a"
+  "librlv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctl.dir/test_ctl.cpp.o"
+  "CMakeFiles/test_ctl.dir/test_ctl.cpp.o.d"
+  "test_ctl"
+  "test_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fair_synthesis.dir/test_fair_synthesis.cpp.o"
+  "CMakeFiles/test_fair_synthesis.dir/test_fair_synthesis.cpp.o.d"
+  "test_fair_synthesis"
+  "test_fair_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fair_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

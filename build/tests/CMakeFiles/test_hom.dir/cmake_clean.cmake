@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hom.dir/test_hom.cpp.o"
+  "CMakeFiles/test_hom.dir/test_hom.cpp.o.d"
+  "test_hom"
+  "test_hom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hom.
+# This may be replaced when dependencies are built.

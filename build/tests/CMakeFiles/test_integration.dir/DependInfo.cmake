@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rlv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_fair.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_ltl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_comp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_hom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omega.dir/test_omega.cpp.o"
+  "CMakeFiles/test_omega.dir/test_omega.cpp.o.d"
+  "test_omega"
+  "test_omega.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peterson.dir/test_peterson.cpp.o"
+  "CMakeFiles/test_peterson.dir/test_peterson.cpp.o.d"
+  "test_peterson"
+  "test_peterson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peterson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

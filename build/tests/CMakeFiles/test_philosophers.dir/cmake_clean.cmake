@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_philosophers.dir/test_philosophers.cpp.o"
+  "CMakeFiles/test_philosophers.dir/test_philosophers.cpp.o.d"
+  "test_philosophers"
+  "test_philosophers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_philosophers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preservation.dir/test_preservation.cpp.o"
+  "CMakeFiles/test_preservation.dir/test_preservation.cpp.o.d"
+  "test_preservation"
+  "test_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

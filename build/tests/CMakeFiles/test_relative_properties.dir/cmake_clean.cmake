@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relative_properties.dir/test_relative_properties.cpp.o"
+  "CMakeFiles/test_relative_properties.dir/test_relative_properties.cpp.o.d"
+  "test_relative_properties"
+  "test_relative_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relative_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_relative_properties.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weak_fairness.dir/test_weak_fairness.cpp.o"
+  "CMakeFiles/test_weak_fairness.dir/test_weak_fairness.cpp.o.d"
+  "test_weak_fairness"
+  "test_weak_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weak_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_check.dir/rlv_check.cpp.o"
+  "CMakeFiles/rlv_check.dir/rlv_check.cpp.o.d"
+  "rlv_check"
+  "rlv_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

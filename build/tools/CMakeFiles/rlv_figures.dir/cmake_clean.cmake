@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_figures.dir/rlv_figures.cpp.o"
+  "CMakeFiles/rlv_figures.dir/rlv_figures.cpp.o.d"
+  "rlv_figures"
+  "rlv_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlv_sim.dir/rlv_sim.cpp.o"
+  "CMakeFiles/rlv_sim.dir/rlv_sim.cpp.o.d"
+  "rlv_sim"
+  "rlv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

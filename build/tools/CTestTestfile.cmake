@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_sim_fig2]=] "/root/repo/build/tools/rlv_sim" "/root/repo/tools/samples/fig2.rlv" "--ltl" "G F result" "--steps" "60" "--seed" "5")
+set_tests_properties([=[cli_sim_fig2]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_figures]=] "/root/repo/build/tools/rlv_figures" "/root/repo/build")
+set_tests_properties([=[cli_figures]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_fig2_rl]=] "/root/repo/build/tools/rlv_check" "/root/repo/tools/samples/fig2.rlv" "--ltl" "G F result")
+set_tests_properties([=[cli_fig2_rl]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_fig3_rl]=] "/root/repo/build/tools/rlv_check" "/root/repo/tools/samples/fig3.rlv" "--ltl" "G F result")
+set_tests_properties([=[cli_fig3_rl]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_fig2_abstraction]=] "/root/repo/build/tools/rlv_check" "/root/repo/tools/samples/fig2.rlv" "--ltl" "G F result" "--hom" "/root/repo/tools/samples/abstraction.hom")
+set_tests_properties([=[cli_fig2_abstraction]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_fig2_fair]=] "/root/repo/build/tools/rlv_check" "/root/repo/tools/samples/fig2.rlv" "--ltl" "G F result" "--check" "fair")
+set_tests_properties([=[cli_fig2_fair]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_fig3_doom]=] "/root/repo/build/tools/rlv_check" "/root/repo/tools/samples/fig3.rlv" "--ltl" "G F result" "--check" "doom" "--trace" "request yes result lock request")
+set_tests_properties([=[cli_fig3_doom]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_property_automaton]=] "/root/repo/build/tools/rlv_check" "/root/repo/tools/samples/fig2.rlv" "--property-aut" "/root/repo/tools/samples/gf_result.rlv")
+set_tests_properties([=[cli_property_automaton]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;36;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_property_automaton_rs]=] "/root/repo/build/tools/rlv_check" "/root/repo/tools/samples/fig2.rlv" "--property-aut" "/root/repo/tools/samples/gf_result.rlv" "--check" "rs" "--explain")
+set_tests_properties([=[cli_property_automaton_rs]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;39;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_doom_search]=] "/root/repo/build/tools/rlv_check" "/root/repo/tools/samples/fig3.rlv" "--ltl" "G F result" "--check" "doom" "--explain")
+set_tests_properties([=[cli_doom_search]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;44;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_fig2_sat]=] "/root/repo/build/tools/rlv_check" "/root/repo/tools/samples/fig2.rlv" "--ltl" "G(result -> !(X result))" "--check" "sat")
+set_tests_properties([=[cli_fig2_sat]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;48;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_fig2_synth]=] "/root/repo/build/tools/rlv_check" "/root/repo/tools/samples/fig2.rlv" "--ltl" "G F result" "--check" "synth")
+set_tests_properties([=[cli_fig2_synth]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;51;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_fig2_fairweak]=] "/root/repo/build/tools/rlv_check" "/root/repo/tools/samples/fig2.rlv" "--ltl" "G F result" "--check" "fairweak")
+set_tests_properties([=[cli_fig2_fairweak]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;54;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_fig2_dot]=] "/root/repo/build/tools/rlv_check" "/root/repo/tools/samples/fig2.rlv" "--dot")
+set_tests_properties([=[cli_fig2_dot]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;58;add_test;/root/repo/tools/CMakeLists.txt;0;")
