@@ -1,0 +1,128 @@
+#pragma once
+
+// Concurrent memoization cache for the query engine. Each cache maps a
+// structural key (see fingerprint.hpp) to a shared, immutable value —
+// a parsed system, an LTL translation, a trimmed pre(L_ω) automaton, or a
+// final verdict. Guarantees:
+//
+//   * compute-once: concurrent requests for the same key run the compute
+//     function exactly once; the losers block on a shared_future and get
+//     the winner's value (so a batch of identical queries does the
+//     expensive automaton construction a single time even across threads);
+//   * values are shared_ptr<const V> — handed out without copying and kept
+//     alive by the caller even if the entry is evicted meanwhile;
+//   * bounded size with least-recently-used eviction once `capacity`
+//     resident entries exist (in-flight computations are never evicted);
+//   * hit/miss/eviction counters, aggregated into EngineStats.
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace rlv {
+
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  CacheCounters& operator+=(const CacheCounters& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    return *this;
+  }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class MemoCache {
+ public:
+  explicit MemoCache(std::size_t capacity) : capacity_(capacity) {}
+
+  MemoCache(const MemoCache&) = delete;
+  MemoCache& operator=(const MemoCache&) = delete;
+
+  /// Returns the cached value for `key`, computing it with `fn` on a miss.
+  /// `fn` is invoked outside the cache lock; exceptions propagate to every
+  /// waiter and the entry is removed so a later call can retry.
+  template <typename Fn>
+  std::shared_ptr<const Value> get_or_compute(const Key& key, Fn&& fn) {
+    std::promise<std::shared_ptr<const Value>> promise;
+    std::shared_future<std::shared_ptr<const Value>> future;
+    bool inserted = false;
+    {
+      std::lock_guard lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++counters_.hits;
+        it->second.last_used = ++tick_;
+        future = it->second.future;
+      } else {
+        ++counters_.misses;
+        future = promise.get_future().share();
+        entries_.emplace(key, Entry{future, ++tick_, /*resident=*/false});
+        inserted = true;
+      }
+    }
+    if (!inserted) return future.get();
+
+    try {
+      auto value = std::make_shared<const Value>(fn());
+      promise.set_value(value);
+      std::lock_guard lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) it->second.resident = true;
+      evict_locked();
+      return value;
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      std::lock_guard lock(mutex_);
+      entries_.erase(key);
+      throw;
+    }
+  }
+
+  [[nodiscard]] CacheCounters counters() const {
+    std::lock_guard lock(mutex_);
+    return counters_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<const Value>> future;
+    std::uint64_t last_used = 0;
+    bool resident = false;  // value ready; only resident entries are evicted
+  };
+
+  void evict_locked() {
+    while (entries_.size() > capacity_) {
+      auto victim = entries_.end();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (!it->second.resident) continue;
+        if (victim == entries_.end() ||
+            it->second.last_used < victim->second.last_used) {
+          victim = it;
+        }
+      }
+      if (victim == entries_.end()) return;  // everything in flight
+      entries_.erase(victim);
+      ++counters_.evictions;
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, Entry, Hash> entries_;
+  CacheCounters counters_;
+  std::uint64_t tick_ = 0;
+  std::size_t capacity_;
+};
+
+}  // namespace rlv

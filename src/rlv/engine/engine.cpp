@@ -1,0 +1,231 @@
+#include "rlv/engine/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+#include "rlv/engine/fingerprint.hpp"
+#include "rlv/engine/thread_pool.hpp"
+#include "rlv/fair/fair_check.hpp"
+#include "rlv/io/format.hpp"
+#include "rlv/lang/inclusion.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/ltl/translate.hpp"
+#include "rlv/omega/emptiness.hpp"
+#include "rlv/omega/limit.hpp"
+#include "rlv/omega/live.hpp"
+#include "rlv/omega/product.hpp"
+#include "rlv/util/hash.hpp"
+
+namespace rlv {
+
+std::optional<CheckKind> parse_check_kind(std::string_view name) {
+  if (name == "rl") return CheckKind::kRelativeLiveness;
+  if (name == "rs") return CheckKind::kRelativeSafety;
+  if (name == "sat") return CheckKind::kSatisfaction;
+  if (name == "fair") return CheckKind::kFairStrong;
+  if (name == "fairweak") return CheckKind::kFairWeak;
+  return std::nullopt;
+}
+
+std::string_view check_kind_name(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kRelativeLiveness:
+      return "rl";
+    case CheckKind::kRelativeSafety:
+      return "rs";
+    case CheckKind::kSatisfaction:
+      return "sat";
+    case CheckKind::kFairStrong:
+      return "fair";
+    case CheckKind::kFairWeak:
+      return "fairweak";
+  }
+  return "?";
+}
+
+namespace {
+
+struct ParsedSystem {
+  Nfa nfa;
+  std::uint64_t fingerprint;  // structural, not text: see fingerprint.hpp
+};
+
+struct TranslationKey {
+  const void* formula;    // interned node — canonical per process
+  const void* alphabet;   // alphabet identity ties symbols to the system
+  bool negated;
+
+  friend bool operator==(const TranslationKey&, const TranslationKey&) =
+      default;
+};
+
+struct TranslationKeyHash {
+  std::size_t operator()(const TranslationKey& k) const {
+    std::size_t h = std::hash<const void*>{}(k.formula);
+    h = hash_combine(h, std::hash<const void*>{}(k.alphabet));
+    return hash_combine(h, k.negated ? 1 : 0);
+  }
+};
+
+struct VerdictKey {
+  std::uint64_t system;  // structural fingerprint
+  const void* formula;   // interned node
+  CheckKind kind;
+
+  friend bool operator==(const VerdictKey&, const VerdictKey&) = default;
+};
+
+struct VerdictKeyHash {
+  std::size_t operator()(const VerdictKey& k) const {
+    std::size_t h = std::hash<std::uint64_t>{}(k.system);
+    h = hash_combine(h, std::hash<const void*>{}(k.formula));
+    return hash_combine(h, static_cast<std::size_t>(k.kind));
+  }
+};
+
+}  // namespace
+
+struct Engine::Impl {
+  explicit Impl(const EngineOptions& options)
+      : systems(options.cache_capacity),
+        behaviors(options.cache_capacity),
+        prefixes(options.cache_capacity),
+        translations(options.cache_capacity),
+        verdicts(options.cache_capacity * 8),
+        pool(options.jobs <= 1 ? 0 : options.jobs) {}
+
+  MemoCache<std::uint64_t, ParsedSystem> systems;
+  MemoCache<std::uint64_t, Buchi> behaviors;
+  MemoCache<std::uint64_t, Nfa> prefixes;
+  MemoCache<TranslationKey, Buchi, TranslationKeyHash> translations;
+  MemoCache<VerdictKey, Verdict, VerdictKeyHash> verdicts;
+  ThreadPool pool;
+  std::atomic<std::uint64_t> queries_run{0};
+
+  std::shared_ptr<const Buchi> translation(Formula f, const Labeling& lambda,
+                                           bool negated) {
+    const TranslationKey key{f.raw(), lambda.alphabet().get(), negated};
+    return translations.get_or_compute(key, [&] {
+      return negated ? translate_ltl_negated(f, lambda)
+                     : translate_ltl(f, lambda);
+    });
+  }
+
+  /// The decision procedures of rlv/core/relative.hpp and
+  /// rlv/fair/fair_check.hpp, restated over the cached intermediates. Every
+  /// derived object is built from the *cached* behaviors automaton so that
+  /// alphabet identity (which intersect_buchi and check_inclusion assert)
+  /// is preserved even when two different texts parse to one structure.
+  Verdict decide(const std::shared_ptr<const ParsedSystem>& sys, Formula f,
+                 CheckKind kind) {
+    const auto behaviors_aut = behaviors.get_or_compute(
+        sys->fingerprint, [&] { return limit_of_prefix_closed(sys->nfa); });
+    const Labeling lambda = Labeling::canonical(behaviors_aut->alphabet());
+
+    Verdict verdict;
+    switch (kind) {
+      case CheckKind::kRelativeLiveness: {
+        // Lemma 4.3: pre(L_ω) ⊆ pre(L_ω ∩ P); ⊇ always holds.
+        const auto property = translation(f, lambda, /*negated=*/false);
+        const Buchi intersection = intersect_buchi(*behaviors_aut, *property);
+        const Nfa pre_both = prefix_nfa(intersection);
+        const auto pre_system = prefixes.get_or_compute(
+            sys->fingerprint, [&] { return prefix_nfa(*behaviors_aut); });
+        const InclusionResult inc = check_inclusion(
+            *pre_system, pre_both, InclusionAlgorithm::kAntichain);
+        verdict.holds = inc.included;
+        verdict.violating_prefix = inc.counterexample;
+        break;
+      }
+      case CheckKind::kRelativeSafety: {
+        // Lemma 4.4: L_ω ∩ lim(pre(L_ω ∩ P)) ∩ ¬P = ∅.
+        const auto property = translation(f, lambda, /*negated=*/false);
+        const auto negated = translation(f, lambda, /*negated=*/true);
+        const Buchi intersection = intersect_buchi(*behaviors_aut, *property);
+        const Buchi closure =
+            limit_of_prefix_closed(prefix_nfa(intersection));
+        const Buchi bad = intersect_buchi(
+            intersect_buchi(*behaviors_aut, closure), *negated);
+        auto lasso = find_accepting_lasso(bad);
+        verdict.holds = !lasso.has_value();
+        verdict.counterexample = std::move(lasso);
+        break;
+      }
+      case CheckKind::kSatisfaction: {
+        const auto negated = translation(f, lambda, /*negated=*/true);
+        verdict.holds =
+            omega_empty(intersect_buchi(*behaviors_aut, *negated));
+        break;
+      }
+      case CheckKind::kFairStrong:
+      case CheckKind::kFairWeak: {
+        const auto negated = translation(f, lambda, /*negated=*/true);
+        const FairCheckResult res = check_fair_satisfaction_negated(
+            *behaviors_aut, *negated,
+            kind == CheckKind::kFairStrong ? FairnessKind::kStrongTransition
+                                           : FairnessKind::kWeakTransition);
+        verdict.holds = res.all_fair_runs_satisfy;
+        verdict.counterexample = res.counterexample;
+        break;
+      }
+    }
+    return verdict;
+  }
+
+  Verdict run_one(const Query& query) {
+    const auto start = std::chrono::steady_clock::now();
+    queries_run.fetch_add(1, std::memory_order_relaxed);
+    Verdict verdict;
+    try {
+      const auto sys = systems.get_or_compute(
+          fingerprint_text(query.system), [&] {
+            Nfa nfa = parse_system(query.system);
+            const std::uint64_t fp = fingerprint_nfa(nfa);
+            return ParsedSystem{std::move(nfa), fp};
+          });
+      const Formula f = parse_ltl(query.formula);
+      const VerdictKey key{sys->fingerprint, f.raw(), query.kind};
+      verdict = *verdicts.get_or_compute(
+          key, [&] { return decide(sys, f, query.kind); });
+    } catch (const std::exception& e) {
+      verdict = Verdict{};
+      verdict.error = e.what();
+    }
+    verdict.millis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return verdict;
+  }
+};
+
+Engine::Engine(EngineOptions options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+Engine::~Engine() = default;
+
+std::vector<Verdict> Engine::run(const std::vector<Query>& queries) {
+  std::vector<Verdict> results(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    impl_->pool.submit(
+        [this, &queries, &results, i] { results[i] = impl_->run_one(queries[i]); });
+  }
+  impl_->pool.wait_idle();
+  return results;
+}
+
+Verdict Engine::run_one(const Query& query) { return impl_->run_one(query); }
+
+EngineStats Engine::stats() const {
+  EngineStats stats;
+  stats.systems = impl_->systems.counters();
+  stats.behaviors = impl_->behaviors.counters();
+  stats.prefixes = impl_->prefixes.counters();
+  stats.translations = impl_->translations.counters();
+  stats.verdicts = impl_->verdicts.counters();
+  stats.queries_run = impl_->queries_run.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace rlv

@@ -1,0 +1,62 @@
+#pragma once
+
+// The concurrent verification query engine: executes batches of
+// (system, formula, check-kind) queries on a fixed-size thread pool while
+// sharing every reusable intermediate across queries through hash-consed
+// caches (see cache.hpp for the concurrency guarantees and query.hpp for
+// the protocol types):
+//
+//   systems       raw text        → parsed Nfa (+ structural fingerprint)
+//   behaviors     system          → lim(L) Büchi automaton (Definition 6.2)
+//   prefixes      system          → trimmed pre(L_ω) NFA (Lemma 4.3's LHS)
+//   translations  formula×Σ×sign  → GPVW Büchi automaton
+//   verdicts      system×f×kind   → final Verdict
+//
+// Every check is a pure function of its query, so Engine::run returns
+// verdicts bit-identical to sequential execution regardless of the worker
+// count or the interleaving — the property test_engine.cpp pins down.
+//
+// Real verification workloads are many properties against few systems;
+// the caches turn that shape into one parse, one limit construction, one
+// pre(L_ω) trim per system, and one translation per formula polarity.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "rlv/engine/query.hpp"
+
+namespace rlv {
+
+struct EngineOptions {
+  /// Worker threads; 0 or 1 executes queries sequentially on the caller.
+  std::size_t jobs = 1;
+  /// Capacity (entries) of each automaton cache; verdict cache is 8x this.
+  std::size_t cache_capacity = 256;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes the batch; results[i] answers queries[i]. Per-query failures
+  /// (unparsable system, bad formula) are reported in Verdict::error, never
+  /// thrown.
+  [[nodiscard]] std::vector<Verdict> run(const std::vector<Query>& queries);
+
+  /// Executes a single query through the same caches.
+  [[nodiscard]] Verdict run_one(const Query& query);
+
+  /// Cumulative cache counters and query totals since construction.
+  [[nodiscard]] EngineStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rlv

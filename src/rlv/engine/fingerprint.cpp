@@ -1,0 +1,60 @@
+#include "rlv/engine/fingerprint.hpp"
+
+#include "rlv/util/hash.hpp"
+
+namespace rlv {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view bytes) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffU;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_text(std::string_view text) {
+  return fnv1a(kFnvOffset, text);
+}
+
+std::uint64_t fingerprint_nfa(const Nfa& nfa) {
+  std::uint64_t h = kFnvOffset;
+  const auto& sigma = *nfa.alphabet();
+  h = fnv1a(h, static_cast<std::uint64_t>(sigma.size()));
+  for (Symbol a = 0; a < sigma.size(); ++a) {
+    h = fnv1a(h, sigma.name(a));
+    h = fnv1a(h, std::string_view("\0", 1));  // unambiguous name separator
+  }
+  h = fnv1a(h, static_cast<std::uint64_t>(nfa.num_states()));
+  for (const State s : nfa.initial()) h = fnv1a(h, s);
+  for (State s = 0; s < nfa.num_states(); ++s) {
+    h = fnv1a(h, static_cast<std::uint64_t>(nfa.is_accepting(s)));
+    for (const Transition& t : nfa.out(s)) {
+      h = fnv1a(h, (static_cast<std::uint64_t>(s) << 32) | t.symbol);
+      h = fnv1a(h, t.target);
+    }
+  }
+  return h;
+}
+
+std::uint64_t fingerprint_buchi(const Buchi& buchi) {
+  // Tag so that an NFA and a Büchi automaton with identical structure do
+  // not collide in a shared key space.
+  return hash_combine(fingerprint_nfa(buchi.structure()), 0xb00c1ULL);
+}
+
+}  // namespace rlv

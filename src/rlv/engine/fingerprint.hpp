@@ -1,0 +1,33 @@
+#pragma once
+
+// Structural fingerprints used as cache keys by the query engine. A
+// fingerprint is a 64-bit hash of everything that determines a check's
+// outcome: for an automaton that is the alphabet (names, in id order), the
+// state count, the initial and accepting sets, and every transition; for a
+// formula it is the interned node pointer (hash-consing makes pointer
+// identity coincide with structural identity within a process).
+//
+// Keys are hashes, not the structures themselves, so two distinct inputs
+// could in principle collide; with a 64-bit state and the avalanche mixing
+// of hash_combine the probability is negligible for realistic workloads
+// (the same trade-off the subset-construction memo tables already make).
+
+#include <cstdint>
+#include <string_view>
+
+#include "rlv/lang/nfa.hpp"
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv {
+
+/// Fingerprint of raw text (e.g. an unparsed system file).
+[[nodiscard]] std::uint64_t fingerprint_text(std::string_view text);
+
+/// Structural fingerprint of an NFA, including its alphabet's names.
+[[nodiscard]] std::uint64_t fingerprint_nfa(const Nfa& nfa);
+
+/// Structural fingerprint of a Büchi automaton (same walk over the
+/// underlying structure; acceptance is read as the Büchi set).
+[[nodiscard]] std::uint64_t fingerprint_buchi(const Buchi& buchi);
+
+}  // namespace rlv

@@ -1,0 +1,77 @@
+#pragma once
+
+// Query and verdict types for the batch verification engine. A Query is
+// self-contained text — the system in the rlv/io format and the property as
+// a PLTL formula — so that batches can be shipped over a wire or a file
+// without sharing in-memory objects; the engine's caches recover all
+// sharing (identical system text parses once, identical formulas translate
+// once per alphabet).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rlv/engine/cache.hpp"
+#include "rlv/lang/alphabet.hpp"
+#include "rlv/omega/emptiness.hpp"
+
+namespace rlv {
+
+/// Which decision procedure to run (the modes of `rlv_check`).
+enum class CheckKind : std::uint8_t {
+  kRelativeLiveness,  // Lemma 4.3: pre(L_ω) ⊆ pre(L_ω ∩ P)
+  kRelativeSafety,    // Lemma 4.4: L_ω ∩ lim(pre(L_ω ∩ P)) ⊆ P
+  kSatisfaction,      // classical L_ω ⊆ P
+  kFairStrong,        // all strongly transition-fair runs satisfy P
+  kFairWeak,          // all weakly (justice) fair runs satisfy P
+};
+
+/// Parses the rlv_check-style mode names: rl, rs, sat, fair, fairweak.
+[[nodiscard]] std::optional<CheckKind> parse_check_kind(std::string_view name);
+
+/// Inverse of parse_check_kind.
+[[nodiscard]] std::string_view check_kind_name(CheckKind kind);
+
+struct Query {
+  std::string system;   // system text in the rlv/io format
+  std::string formula;  // PLTL formula text
+  CheckKind kind = CheckKind::kRelativeLiveness;
+};
+
+struct Verdict {
+  /// The check's boolean outcome; meaningless when `error` is set.
+  bool holds = false;
+  /// Relative liveness violation: a doomed prefix.
+  std::optional<Word> violating_prefix;
+  /// Relative safety / fairness violation: a lasso behavior.
+  std::optional<Lasso> counterexample;
+  /// Nonempty when the query failed (parse error, bad formula, ...).
+  std::string error;
+  /// Wall-clock time this query spent executing (including cache lookups).
+  double millis = 0.0;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Counter snapshot of every engine cache plus batch totals.
+struct EngineStats {
+  CacheCounters systems;       // text → parsed Nfa
+  CacheCounters behaviors;     // system → lim(L) Büchi automaton
+  CacheCounters prefixes;      // system → trimmed pre(L_ω) NFA
+  CacheCounters translations;  // (formula, alphabet, polarity) → Büchi
+  CacheCounters verdicts;      // (system, formula, kind) → Verdict
+  std::uint64_t queries_run = 0;
+
+  [[nodiscard]] CacheCounters total() const {
+    CacheCounters t;
+    t += systems;
+    t += behaviors;
+    t += prefixes;
+    t += translations;
+    t += verdicts;
+    return t;
+  }
+};
+
+}  // namespace rlv

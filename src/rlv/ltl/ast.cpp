@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "rlv/util/hash.hpp"
@@ -41,8 +43,11 @@ struct NodeKeyHash {
   }
 };
 
-/// Process-wide intern table. The library is single-threaded by design
-/// (documented in README); no locking.
+/// Process-wide intern table, guarded by a reader/writer lock so that
+/// formula construction is safe from concurrent threads (the rlv::engine
+/// thread pool translates formulas in parallel). Nodes are heap-allocated
+/// and immortal, so a pointer handed out under the lock stays valid forever
+/// and pointer equality remains sound across threads.
 std::unordered_map<NodeKey, std::unique_ptr<LtlNode>, NodeKeyHash>&
 intern_table() {
   static auto* table =
@@ -50,11 +55,22 @@ intern_table() {
   return *table;
 }
 
+std::shared_mutex& intern_mutex() {
+  static auto* mutex = new std::shared_mutex();
+  return *mutex;
+}
+
 const LtlNode* intern(LtlOp op, std::string atom, const LtlNode* left,
                       const LtlNode* right) {
   NodeKey key{op, atom, left, right};
   auto& table = intern_table();
-  auto it = table.find(key);
+  {
+    std::shared_lock lock(intern_mutex());
+    auto it = table.find(key);
+    if (it != table.end()) return it->second.get();
+  }
+  std::unique_lock lock(intern_mutex());
+  auto it = table.find(key);  // re-check: another writer may have won
   if (it == table.end()) {
     auto node = std::make_unique<LtlNode>();
     node->op = op;

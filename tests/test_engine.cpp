@@ -1,0 +1,331 @@
+// Tests for rlv::engine — the concurrent verification query engine:
+// determinism (parallel batches bit-identical to sequential execution),
+// cache hit/miss/eviction accounting, compute-once semantics under
+// contention, error folding, the thread pool, and structural fingerprints.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "rlv/core/relative.hpp"
+#include "rlv/engine/cache.hpp"
+#include "rlv/engine/engine.hpp"
+#include "rlv/engine/fingerprint.hpp"
+#include "rlv/engine/thread_pool.hpp"
+#include "rlv/gen/families.hpp"
+#include "rlv/gen/random.hpp"
+#include "rlv/io/format.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/omega/limit.hpp"
+#include "rlv/util/rng.hpp"
+
+namespace rlv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Workload construction.
+
+std::vector<std::string> sample_system_texts() {
+  return {serialize_system(figure2_system()),
+          serialize_system(figure3_system()),
+          serialize_system(token_ring(4)),
+          serialize_system(section5_ab_system())};
+}
+
+std::vector<std::string> sample_formulas(const Nfa& probe) {
+  // Formulas over action names shared by all sample systems would be ideal;
+  // unknown atoms are simply false at every letter, which is fine too.
+  (void)probe;
+  return {"G F result", "F result", "G(request -> F(result || reject))",
+          "G F pass_0", "true U result", "G(result -> !(X result))"};
+}
+
+std::vector<Query> mixed_batch(std::size_t size) {
+  const auto systems = sample_system_texts();
+  const auto formulas = sample_formulas(figure2_system());
+  const CheckKind kinds[] = {CheckKind::kRelativeLiveness,
+                             CheckKind::kRelativeSafety,
+                             CheckKind::kSatisfaction};
+  std::vector<Query> batch;
+  batch.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    batch.push_back(Query{systems[i % systems.size()],
+                          formulas[(i / 2) % formulas.size()],
+                          kinds[i % 3]});
+  }
+  return batch;
+}
+
+void expect_identical(const std::vector<Verdict>& a,
+                      const std::vector<Verdict>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].holds, b[i].holds) << "query " << i;
+    EXPECT_EQ(a[i].error, b[i].error) << "query " << i;
+    EXPECT_EQ(a[i].violating_prefix, b[i].violating_prefix) << "query " << i;
+    ASSERT_EQ(a[i].counterexample.has_value(), b[i].counterexample.has_value())
+        << "query " << i;
+    if (a[i].counterexample) {
+      EXPECT_EQ(a[i].counterexample->prefix, b[i].counterexample->prefix);
+      EXPECT_EQ(a[i].counterexample->period, b[i].counterexample->period);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine determinism and correctness.
+
+TEST(Engine, ParallelBatchIdenticalToSequential64) {
+  const std::vector<Query> batch = mixed_batch(64);
+
+  Engine sequential(EngineOptions{.jobs = 1});
+  Engine parallel(EngineOptions{.jobs = 4});
+  const auto seq = sequential.run(batch);
+  const auto par = parallel.run(batch);
+
+  expect_identical(seq, par);
+
+  // The repeated-system workload must actually reuse cached intermediates.
+  const EngineStats stats = parallel.stats();
+  EXPECT_GT(stats.total().hits, 0u);
+  EXPECT_GT(stats.behaviors.hits, 0u);
+  EXPECT_EQ(stats.queries_run, 64u);
+}
+
+TEST(Engine, AgreesWithDirectLibraryCalls) {
+  Engine engine(EngineOptions{.jobs = 2});
+  for (const Nfa& system : {figure2_system(), figure3_system()}) {
+    const std::string text = serialize_system(system);
+    const Buchi behaviors = limit_of_prefix_closed(system);
+    const Labeling lambda = Labeling::canonical(system.alphabet());
+    const Formula f = parse_ltl("G F result");
+
+    const Verdict rl =
+        engine.run_one({text, "G F result", CheckKind::kRelativeLiveness});
+    EXPECT_EQ(rl.holds, relative_liveness(behaviors, f, lambda).holds);
+
+    const Verdict rs =
+        engine.run_one({text, "G F result", CheckKind::kRelativeSafety});
+    EXPECT_EQ(rs.holds, relative_safety(behaviors, f, lambda).holds);
+
+    const Verdict sat =
+        engine.run_one({text, "G F result", CheckKind::kSatisfaction});
+    EXPECT_EQ(sat.holds, satisfies(behaviors, f, lambda));
+  }
+}
+
+TEST(Engine, FairChecksMatchRlvCheckSemantics) {
+  // Figure 2: strongly fair runs satisfy GF result; weakly fair ones do not.
+  const std::string text = serialize_system(figure2_system());
+  Engine engine;
+  EXPECT_TRUE(
+      engine.run_one({text, "G F result", CheckKind::kFairStrong}).holds);
+  const Verdict weak =
+      engine.run_one({text, "G F result", CheckKind::kFairWeak});
+  EXPECT_FALSE(weak.holds);
+  EXPECT_TRUE(weak.counterexample.has_value());
+}
+
+TEST(Engine, RepeatedQueryHitsVerdictCache) {
+  Engine engine;
+  const Query q{serialize_system(figure2_system()), "G F result",
+                CheckKind::kRelativeLiveness};
+  const Verdict first = engine.run_one(q);
+  const Verdict second = engine.run_one(q);
+  EXPECT_EQ(first.holds, second.holds);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.verdicts.hits, 1u);
+  EXPECT_EQ(stats.verdicts.misses, 1u);
+  EXPECT_EQ(stats.systems.hits, 1u);
+}
+
+TEST(Engine, StructurallyEqualTextsShareVerdicts) {
+  // Same automaton, different text (comment) — the parse cache misses but
+  // the structural fingerprint matches, so the verdict cache hits.
+  const std::string text = serialize_system(figure2_system());
+  Engine engine;
+  (void)engine.run_one({text, "G F result", CheckKind::kRelativeLiveness});
+  (void)engine.run_one(
+      {"# same system\n" + text, "G F result", CheckKind::kRelativeLiveness});
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.systems.misses, 2u);
+  EXPECT_EQ(stats.verdicts.hits, 1u);
+  // The verdict-cache hit short-circuits decide(): the behaviors automaton
+  // was only ever built once, for the first query.
+  EXPECT_EQ(stats.behaviors.misses, 1u);
+  EXPECT_EQ(stats.behaviors.hits, 0u);
+}
+
+TEST(Engine, ErrorsAreFoldedIntoVerdicts) {
+  Engine engine;
+  const Verdict bad_system =
+      engine.run_one({"alphabet: a\n", "G F a", CheckKind::kSatisfaction});
+  EXPECT_FALSE(bad_system.ok());
+  EXPECT_NE(bad_system.error.find("states"), std::string::npos);
+
+  const Verdict bad_formula =
+      engine.run_one({serialize_system(figure2_system()), "G F (",
+                      CheckKind::kSatisfaction});
+  EXPECT_FALSE(bad_formula.ok());
+
+  // A failed parse must not poison the cache for a later good query.
+  const Verdict retry = engine.run_one(
+      {serialize_system(figure2_system()), "G F result",
+       CheckKind::kRelativeLiveness});
+  EXPECT_TRUE(retry.ok());
+  EXPECT_TRUE(retry.holds);
+}
+
+TEST(Engine, RandomSystemsParallelMatchesSequential) {
+  Rng rng(2026);
+  std::vector<Query> batch;
+  for (int i = 0; i < 12; ++i) {
+    auto sigma = random_alphabet(3);
+    const Nfa system = random_transition_system(rng, 4 + rng.next_below(4),
+                                                sigma);
+    const Formula f = random_formula(rng, {"a0", "a1", "a2"}, 3);
+    batch.push_back(Query{serialize_system(system), f.to_string(),
+                          i % 2 ? CheckKind::kRelativeLiveness
+                                : CheckKind::kSatisfaction});
+  }
+  Engine sequential(EngineOptions{.jobs = 1});
+  Engine parallel(EngineOptions{.jobs = 4});
+  expect_identical(sequential.run(batch), parallel.run(batch));
+}
+
+// ---------------------------------------------------------------------------
+// MemoCache semantics.
+
+TEST(MemoCache, ComputeOnceUnderContention) {
+  MemoCache<int, int> cache(64);
+  std::atomic<int> computations{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        auto value = cache.get_or_compute(i % 10, [&] {
+          computations.fetch_add(1);
+          return i % 10;
+        });
+        EXPECT_EQ(*value, i % 10);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(computations.load(), 10);
+  const CacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.misses, 10u);
+  EXPECT_EQ(counters.hits, 8u * 100u - 10u);
+}
+
+TEST(MemoCache, EvictsLeastRecentlyUsed) {
+  MemoCache<int, int> cache(2);
+  (void)cache.get_or_compute(1, [] { return 1; });
+  (void)cache.get_or_compute(2, [] { return 2; });
+  (void)cache.get_or_compute(1, [] { return 1; });  // refresh 1
+  (void)cache.get_or_compute(3, [] { return 3; });  // evicts 2
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  (void)cache.get_or_compute(1, [] { return -1; });  // still cached
+  EXPECT_EQ(cache.counters().hits, 2u);
+  int recomputed = 0;
+  (void)cache.get_or_compute(2, [&] {
+    recomputed = 1;
+    return 2;
+  });
+  EXPECT_EQ(recomputed, 1);  // 2 was evicted
+}
+
+TEST(MemoCache, ExceptionEvictsEntryAndPropagates) {
+  MemoCache<int, int> cache(8);
+  EXPECT_THROW((void)cache.get_or_compute(
+                   1, []() -> int { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  auto value = cache.get_or_compute(1, [] { return 7; });
+  EXPECT_EQ(*value, 7);
+  EXPECT_EQ(cache.counters().misses, 2u);
+}
+
+TEST(Engine, EvictionCountersSurfaceInStats) {
+  // A capacity-1 cache over four distinct systems must evict.
+  Engine engine(EngineOptions{.jobs = 1, .cache_capacity = 1});
+  for (const auto& text : sample_system_texts()) {
+    (void)engine.run_one({text, "G F result", CheckKind::kSatisfaction});
+  }
+  EXPECT_GT(engine.stats().total().evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool.
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.submit([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+  pool.wait_idle();  // must not block with an empty queue
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) pool.submit([&] { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints.
+
+TEST(Fingerprint, SensitiveToStructureNotText) {
+  const Nfa fig2 = figure2_system();
+  const Nfa fig3 = figure3_system();
+  EXPECT_NE(fingerprint_nfa(fig2), fingerprint_nfa(fig3));
+  // Reparse of the serialization reproduces the structural fingerprint.
+  const Nfa reparsed = parse_system(serialize_system(fig2));
+  EXPECT_EQ(fingerprint_nfa(fig2), fingerprint_nfa(reparsed));
+  // Text fingerprints differ on any byte change.
+  EXPECT_NE(fingerprint_text("a"), fingerprint_text("b"));
+  EXPECT_NE(fingerprint_text(""), fingerprint_text(std::string_view("\0", 1)));
+}
+
+TEST(Fingerprint, AcceptanceChangesHash) {
+  auto sigma = Alphabet::make({"a"});
+  Nfa x(sigma);
+  const State s = x.add_state(true);
+  x.add_transition(s, 0, s);
+  x.set_initial(s);
+  Nfa y(sigma);
+  const State t = y.add_state(false);
+  y.add_transition(t, 0, t);
+  y.set_initial(t);
+  EXPECT_NE(fingerprint_nfa(x), fingerprint_nfa(y));
+}
+
+TEST(CheckKind, NamesRoundTrip) {
+  for (const CheckKind kind :
+       {CheckKind::kRelativeLiveness, CheckKind::kRelativeSafety,
+        CheckKind::kSatisfaction, CheckKind::kFairStrong,
+        CheckKind::kFairWeak}) {
+    EXPECT_EQ(parse_check_kind(check_kind_name(kind)), kind);
+  }
+  EXPECT_FALSE(parse_check_kind("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace rlv

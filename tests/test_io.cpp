@@ -95,6 +95,69 @@ TEST(IoRoundTrip, RandomSystems) {
   }
 }
 
+TEST(IoRoundTrip, RandomTransitionSystems) {
+  // Transition systems (prefix-closed, all-accepting) round-trip both as
+  // languages and structurally: a second serialization is byte-identical,
+  // so parse ∘ serialize is idempotent on its own output.
+  Rng rng(2026);
+  for (int i = 0; i < 25; ++i) {
+    auto sigma = random_alphabet(2 + rng.next_below(3));
+    const Nfa original =
+        random_transition_system(rng, 2 + rng.next_below(7), sigma);
+    const std::string text = serialize_system(original);
+    const Nfa reparsed = parse_system(text);
+    EXPECT_EQ(serialize_system(reparsed), text);
+    const Nfa remapped = remap_alphabet(reparsed, original.alphabet());
+    EXPECT_TRUE(nfa_equivalent(remapped, original));
+  }
+}
+
+TEST(IoRoundTrip, RandomBuchi) {
+  Rng rng(7);
+  for (int i = 0; i < 25; ++i) {
+    auto sigma = random_alphabet(2 + rng.next_below(3));
+    const Buchi original = random_buchi(rng, 1 + rng.next_below(6), sigma);
+    const std::string text = serialize_buchi(original);
+    const Buchi reparsed = parse_buchi(text);
+    EXPECT_EQ(serialize_buchi(reparsed), text);
+    EXPECT_EQ(reparsed.num_states(), original.num_states());
+    EXPECT_EQ(reparsed.num_transitions(), original.num_transitions());
+    for (State s = 0; s < original.num_states(); ++s) {
+      EXPECT_EQ(reparsed.is_accepting(s), original.is_accepting(s));
+    }
+  }
+}
+
+TEST(IoParse, ErrorLineNumbersAreAccurate) {
+  const auto line_of = [](const char* text) -> std::size_t {
+    try {
+      (void)parse_system(text);
+    } catch (const IoError& e) {
+      return e.line();
+    }
+    return static_cast<std::size_t>(-1);  // no error thrown
+  };
+  // Unknown action: reported at the transition's own line, even though the
+  // check runs after the whole file is scanned.
+  EXPECT_EQ(line_of("alphabet: a\nstates: 2\ninitial: 0\naccepting: all\n"
+                    "0 a 1\n1 zz 0\n"),
+            6u);
+  // Transition target out of range, behind a comment and a blank line.
+  EXPECT_EQ(line_of("alphabet: a\nstates: 2\ninitial: 0\naccepting: all\n"
+                    "# comment\n\n0 a 9\n"),
+            7u);
+  // Unparsable state count.
+  EXPECT_EQ(line_of("alphabet: a\nstates: x\n"), 2u);
+  // Unrecognized line (wrong token count).
+  EXPECT_EQ(line_of("alphabet: a\nstates: 2\ninitial: 0\naccepting: all\n"
+                    "0 a 1 extra\n"),
+            5u);
+  // Duplicate alphabet.
+  EXPECT_EQ(line_of("alphabet: a\nalphabet: b\n"), 2u);
+  // Missing-section errors are whole-file problems: reported as line 0.
+  EXPECT_EQ(line_of("alphabet: a\nstates: 1\ninitial: 0\n"), 0u);
+}
+
 TEST(IoHom, ParseAndApply) {
   const Nfa fig2 = figure2_system();
   const Homomorphism h = parse_homomorphism(R"(

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "rlv/gen/random.hpp"
 #include "rlv/hom/homomorphism.hpp"
 #include "rlv/ltl/ast.hpp"
@@ -323,6 +327,54 @@ TEST_P(SigmaNormalFormProperty, EquivalentUnderCanonicalLabeling) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SigmaNormalFormProperty,
                          ::testing::Range<std::uint64_t>(0, 30));
+
+// ---------------------------------------------------------------------------
+// Intern-table thread safety. The hash-consing table is shared process-wide
+// and must behave correctly under concurrent construction (the rlv::engine
+// thread pool builds formulas from several workers). Run under TSan in CI.
+
+TEST(LtlThreadSafety, ConcurrentInterningYieldsIdenticalNodes) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 300;
+  std::vector<std::vector<const LtlNode*>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &seen] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      seen[t].reserve(kRounds + 3);
+      for (int i = 0; i < kRounds; ++i) {
+        // A mix of fresh structure (thread-unique atoms force inserts) and
+        // shared structure (identical formulas from every thread must
+        // resolve to the same node).
+        const Formula unique = f_until(
+            f_atom("t" + std::to_string(t) + "_" + std::to_string(i)),
+            f_atom("shared"));
+        const Formula common =
+            random_formula(rng, {"p", "q", "r"}, 1 + i % 4);
+        EXPECT_TRUE(unique.valid());
+        EXPECT_TRUE(common.valid());
+        if (i % 100 == 0) {
+          seen[t].push_back(
+              f_and(f_atom("p"), f_eventually(f_atom("q"))).raw());
+        }
+      }
+      seen[t].push_back(parse_ltl("G(p -> F q)").raw());
+      seen[t].push_back(f_always(f_implies(f_atom("p"), f_eventually(
+                                               f_atom("q")))).raw());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Pointer equality = structural equality must hold across threads.
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(seen[t].size(), seen[0].size());
+    for (std::size_t i = 0; i < seen[t].size(); ++i) {
+      EXPECT_EQ(seen[t][i], seen[0][i]) << "thread " << t << " slot " << i;
+    }
+  }
+  // And the parser route agrees with the constructor route.
+  EXPECT_EQ(seen[0][seen[0].size() - 2], seen[0].back());
+}
 
 }  // namespace
 }  // namespace rlv

@@ -53,8 +53,9 @@ using namespace rlv;
 int usage() {
   std::fprintf(stderr,
                "usage: rlv_check <system-file> --ltl \"<formula>\"\n"
-               "       [--check rl|rs|sat|fair|synth] [--hom <file>] "
-               "[--dot]\n");
+               "       [--check rl|rs|sat|fair|fairweak|synth|doom]\n"
+               "       [--trace \"<a b c>\"] [--hom <file>]\n"
+               "       [--property-aut <file>] [--explain] [--dot]\n");
   return 2;
 }
 

@@ -1,0 +1,251 @@
+// rlvd — batch verification server front end for rlv::engine.
+//
+// Reads a line-oriented request protocol from a file (or stdin when the
+// path is "-" or omitted), executes every query through the concurrent
+// engine, and emits exactly one JSON object per query, in input order, on
+// stdout. Request lines:
+//
+//   <system-file> [--check rl|rs|sat|fair|fairweak] <formula...>
+//
+// Everything after the system path (and the optional --check flag) is the
+// PLTL formula; '#' starts a comment and blank lines are skipped. System
+// paths are resolved relative to the batch file's directory (relative to
+// the working directory when reading stdin).
+//
+// Result lines (one per query):
+//
+//   {"id":0,"system":"fig2.rlv","check":"rl","formula":"G F result",
+//    "ok":true,"holds":true,"witness":"...","ms":0.42,
+//    "cache":{"hits":12,"misses":4,"evictions":0}}
+//
+// "cache" is the engine-wide cumulative counter snapshot (hits + misses +
+// evictions summed over all five caches) at the time the result line is
+// emitted. A summary line with the full per-cache EngineStats breakdown
+// goes to stderr.
+//
+// Options:
+//   --jobs N     worker threads (default 1: sequential)
+//   --cache N    per-cache capacity in entries (default 256)
+//
+// Exit status: 0 = every line executed (whatever the verdicts), 2 = bad
+// invocation, unreadable batch file, or a malformed request line.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rlv/engine/engine.hpp"
+#include "rlv/io/format.hpp"
+
+namespace {
+
+using namespace rlv;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rlvd [<batch-file>|-] [--jobs N] [--cache N]\n"
+               "  batch line: <system-file> [--check rl|rs|sat|fair|fairweak]"
+               " <formula...>\n");
+  return 2;
+}
+
+/// JSON string escaping (control characters, quotes, backslashes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct Request {
+  std::string system_path;  // as written in the batch file
+  Query query;
+};
+
+/// Splits one request line; returns nullopt for blanks/comments, throws
+/// std::runtime_error on malformed lines.
+std::optional<Request> parse_request_line(const std::string& line,
+                                          const std::string& base_dir) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  if (tokens.empty()) return std::nullopt;
+
+  Request request;
+  request.system_path = tokens[0];
+  std::size_t i = 1;
+  if (i + 1 < tokens.size() && tokens[i] == "--check") {
+    const auto kind = parse_check_kind(tokens[i + 1]);
+    if (!kind) {
+      throw std::runtime_error("unknown check kind '" + tokens[i + 1] + "'");
+    }
+    request.query.kind = *kind;
+    i += 2;
+  }
+  if (i >= tokens.size()) {
+    throw std::runtime_error("missing formula");
+  }
+  std::string formula;
+  for (; i < tokens.size(); ++i) {
+    if (!formula.empty()) formula += ' ';
+    formula += tokens[i];
+  }
+  request.query.formula = std::move(formula);
+
+  std::string path = request.system_path;
+  if (!base_dir.empty() && path[0] != '/') path = base_dir + "/" + path;
+  request.query.system = read_file(path);
+  return request;
+}
+
+void print_counters(std::ostream& out, const char* name,
+                    const CacheCounters& c) {
+  out << '"' << name << "\":{\"hits\":" << c.hits
+      << ",\"misses\":" << c.misses << ",\"evictions\":" << c.evictions
+      << '}';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string batch_path = "-";
+  EngineOptions options;
+  bool have_path = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      options.jobs = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (options.jobs == 0) return usage();
+    } else if (arg == "--cache" && i + 1 < argc) {
+      options.cache_capacity = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (options.cache_capacity == 0) return usage();
+    } else if (!have_path) {
+      batch_path = arg;
+      have_path = true;
+    } else {
+      return usage();
+    }
+  }
+
+  std::string base_dir;
+  std::istringstream file_input;
+  std::istream* in = &std::cin;
+  if (batch_path != "-") {
+    try {
+      file_input.str(read_file(batch_path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    in = &file_input;
+    const std::size_t slash = batch_path.rfind('/');
+    if (slash != std::string::npos) base_dir = batch_path.substr(0, slash);
+  }
+
+  std::vector<Request> requests;
+  std::string line;
+  for (std::size_t line_number = 1; std::getline(*in, line); ++line_number) {
+    try {
+      auto request = parse_request_line(line, base_dir);
+      if (request) requests.push_back(std::move(*request));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: line %zu: %s\n", line_number, e.what());
+      return 2;
+    }
+  }
+
+  Engine engine(options);
+  std::vector<Query> queries;
+  queries.reserve(requests.size());
+  for (const Request& r : requests) queries.push_back(r.query);
+  const std::vector<Verdict> verdicts = engine.run(queries);
+
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    const Request& request = requests[i];
+    const Verdict& v = verdicts[i];
+    const CacheCounters cache = engine.stats().total();
+    std::ostringstream out;
+    out << "{\"id\":" << i << ",\"system\":\""
+        << json_escape(request.system_path) << "\",\"check\":\""
+        << check_kind_name(request.query.kind) << "\",\"formula\":\""
+        << json_escape(request.query.formula) << "\",\"ok\":"
+        << (v.ok() ? "true" : "false");
+    if (v.ok()) {
+      out << ",\"holds\":" << (v.holds ? "true" : "false");
+      // Witness symbols are ids over the system's alphabet; reparse the
+      // (small) system text to render them as action names.
+      if (v.violating_prefix) {
+        const Nfa system = parse_system(request.query.system);
+        out << ",\"witness\":\""
+            << json_escape(system.alphabet()->format(*v.violating_prefix))
+            << '"';
+      } else if (v.counterexample) {
+        const Nfa system = parse_system(request.query.system);
+        out << ",\"witness\":\""
+            << json_escape(
+                   system.alphabet()->format(v.counterexample->prefix) +
+                   " (" +
+                   system.alphabet()->format(v.counterexample->period) +
+                   ")^w")
+            << '"';
+      }
+    } else {
+      out << ",\"error\":\"" << json_escape(v.error) << '"';
+    }
+    out << ",\"ms\":" << v.millis << ",\"cache\":{";
+    out << "\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
+        << ",\"evictions\":" << cache.evictions << "}}";
+    std::puts(out.str().c_str());
+  }
+
+  const EngineStats stats = engine.stats();
+  std::ostringstream summary;
+  summary << "{\"queries\":" << stats.queries_run << ',';
+  print_counters(summary, "systems", stats.systems);
+  summary << ',';
+  print_counters(summary, "behaviors", stats.behaviors);
+  summary << ',';
+  print_counters(summary, "prefixes", stats.prefixes);
+  summary << ',';
+  print_counters(summary, "translations", stats.translations);
+  summary << ',';
+  print_counters(summary, "verdicts", stats.verdicts);
+  summary << '}';
+  std::fprintf(stderr, "rlvd: %s\n", summary.str().c_str());
+  return 0;
+}
