@@ -93,6 +93,22 @@ void run_batch(benchmark::State& state, std::size_t jobs) {
 void BM_EngineSequential(benchmark::State& state) { run_batch(state, 1); }
 void BM_EngineJobs4(benchmark::State& state) { run_batch(state, 4); }
 
+// Guard overhead (experiment E22): the same cold-cache sequential batch
+// with a generous budget armed — every state construction is charged and
+// the deadline is polled (amortized 1/64 ticks), but nothing ever trips.
+// Compare against BM_EngineSequential: the delta is the price of resource
+// governance on the happy path; the acceptance bar is < 5%.
+void BM_EngineSequentialBudgeted(benchmark::State& state) {
+  const std::vector<Query> batch = engine_batch();
+  for (auto _ : state) {
+    Engine engine(EngineOptions{
+        .jobs = 1, .timeout_ms = 3'600'000, .max_states = 1'000'000'000});
+    auto verdicts = engine.run(batch);
+    benchmark::DoNotOptimize(verdicts);
+  }
+  report_qps(state, batch.size());
+}
+
 // Warm-verdict rerun: every query hits the verdict cache — the upper bound
 // the result cache buys on fully repeated traffic.
 void BM_EngineWarmCache(benchmark::State& state) {
@@ -108,6 +124,7 @@ void BM_EngineWarmCache(benchmark::State& state) {
 
 BENCHMARK(BM_NoReuseBaseline)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineSequential)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineSequentialBudgeted)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineJobs4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineWarmCache)->Unit(benchmark::kMillisecond);
 

@@ -11,7 +11,9 @@
 namespace rlv {
 
 DoomMonitor::DoomMonitor(const Buchi& system, const Buchi& property)
-    : satisfiable_(determinize(prefix_nfa(intersect_buchi(system, property)))),
+    : satisfiable_((require_same_alphabet(system.alphabet(),
+                                          property.alphabet(), "DoomMonitor"),
+                    determinize(prefix_nfa(intersect_buchi(system, property))))),
       system_pre_(determinize(prefix_nfa(system))) {
   init();
 }

@@ -13,11 +13,13 @@ namespace {
 
 RelativeLivenessResult liveness_via_intersection(const Buchi& system,
                                                  const Buchi& intersection,
-                                                 InclusionAlgorithm algorithm) {
+                                                 InclusionAlgorithm algorithm,
+                                                 Budget* budget) {
   // Lemma 4.3: pre(L_ω) ⊆ pre(L_ω ∩ P); the reverse inclusion is automatic.
   const Nfa pre_system = prefix_nfa(system);
   const Nfa pre_both = prefix_nfa(intersection);
-  const InclusionResult inc = check_inclusion(pre_system, pre_both, algorithm);
+  const InclusionResult inc =
+      check_inclusion(pre_system, pre_both, algorithm, budget);
   RelativeLivenessResult result;
   result.holds = inc.included;
   result.violating_prefix = inc.counterexample;
@@ -26,13 +28,14 @@ RelativeLivenessResult liveness_via_intersection(const Buchi& system,
 
 RelativeSafetyResult safety_via_negation(const Buchi& system,
                                          const Buchi& intersection,
-                                         const Buchi& negated_property) {
+                                         const Buchi& negated_property,
+                                         Budget* budget) {
   // Lemma 4.4: L_ω ∩ lim(pre(L_ω ∩ P)) ∩ ¬P = ∅.
   const Buchi closure = limit_of_prefix_closed(prefix_nfa(intersection));
-  const Buchi bad =
-      intersect_buchi(intersect_buchi(system, closure), negated_property);
+  const Buchi bad = intersect_buchi(intersect_buchi(system, closure, budget),
+                                    negated_property, budget);
   RelativeSafetyResult result;
-  auto lasso = find_accepting_lasso(bad);
+  auto lasso = find_accepting_lasso(bad, budget);
   result.holds = !lasso.has_value();
   result.counterexample = std::move(lasso);
   return result;
@@ -42,40 +45,72 @@ RelativeSafetyResult safety_via_negation(const Buchi& system,
 
 RelativeLivenessResult relative_liveness(const Buchi& system,
                                          const Buchi& property,
-                                         InclusionAlgorithm algorithm) {
-  return liveness_via_intersection(system, intersect_buchi(system, property),
-                                   algorithm);
+                                         InclusionAlgorithm algorithm,
+                                         Budget* budget) {
+  try {
+    return liveness_via_intersection(
+        system, intersect_buchi(system, property, budget), algorithm, budget);
+  } catch (const ResourceExhausted& e) {
+    RelativeLivenessResult result;
+    result.exhausted = e.stage();
+    return result;
+  }
 }
 
 RelativeLivenessResult relative_liveness(const Buchi& system, Formula f,
                                          const Labeling& lambda,
-                                         InclusionAlgorithm algorithm) {
-  const Buchi property = translate_ltl(f, lambda);
-  return liveness_via_intersection(system, intersect_buchi(system, property),
-                                   algorithm);
+                                         InclusionAlgorithm algorithm,
+                                         Budget* budget) {
+  try {
+    const Buchi property = translate_ltl(f, lambda, budget);
+    return liveness_via_intersection(
+        system, intersect_buchi(system, property, budget), algorithm, budget);
+  } catch (const ResourceExhausted& e) {
+    RelativeLivenessResult result;
+    result.exhausted = e.stage();
+    return result;
+  }
 }
 
 RelativeSafetyResult relative_safety(const Buchi& system,
-                                     const Buchi& property) {
-  return safety_via_negation(system, intersect_buchi(system, property),
-                             complement_buchi(property));
+                                     const Buchi& property, Budget* budget) {
+  try {
+    return safety_via_negation(system,
+                               intersect_buchi(system, property, budget),
+                               complement_buchi(property, budget), budget);
+  } catch (const ResourceExhausted& e) {
+    RelativeSafetyResult result;
+    result.exhausted = e.stage();
+    return result;
+  }
 }
 
 RelativeSafetyResult relative_safety(const Buchi& system, Formula f,
-                                     const Labeling& lambda) {
-  const Buchi property = translate_ltl(f, lambda);
-  const Buchi negated = translate_ltl_negated(f, lambda);
-  return safety_via_negation(system, intersect_buchi(system, property),
-                             negated);
+                                     const Labeling& lambda, Budget* budget) {
+  try {
+    const Buchi property = translate_ltl(f, lambda, budget);
+    const Buchi negated = translate_ltl_negated(f, lambda, budget);
+    return safety_via_negation(
+        system, intersect_buchi(system, property, budget), negated, budget);
+  } catch (const ResourceExhausted& e) {
+    RelativeSafetyResult result;
+    result.exhausted = e.stage();
+    return result;
+  }
 }
 
-bool satisfies(const Buchi& system, const Buchi& property) {
-  return omega_empty(intersect_buchi(system, complement_buchi(property)));
+bool satisfies(const Buchi& system, const Buchi& property, Budget* budget) {
+  return buchi_empty(
+      intersect_buchi(system, complement_buchi(property, budget), budget),
+      EmptinessAlgorithm::kScc, budget);
 }
 
-bool satisfies(const Buchi& system, Formula f, const Labeling& lambda) {
-  return omega_empty(
-      intersect_buchi(system, translate_ltl_negated(f, lambda)));
+bool satisfies(const Buchi& system, Formula f, const Labeling& lambda,
+               Budget* budget) {
+  return buchi_empty(
+      intersect_buchi(system, translate_ltl_negated(f, lambda, budget),
+                      budget),
+      EmptinessAlgorithm::kScc, budget);
 }
 
 }  // namespace rlv

@@ -14,6 +14,13 @@
 //
 // Also provides classical satisfaction L_ω ⊆ P and the Theorem 4.7
 // decomposition (satisfaction ⟺ relative liveness ∧ relative safety).
+//
+// All entry points take an optional Budget. When the budget trips inside a
+// kernel, the relative_* functions catch the ResourceExhausted and return a
+// result with `exhausted` set to the tripping stage and `holds` left false —
+// a result with `exhausted` engaged carries NO verdict and must not be read
+// as a boolean answer. `satisfies` (a bare bool) lets ResourceExhausted
+// propagate instead.
 
 #include <optional>
 
@@ -21,6 +28,7 @@
 #include "rlv/ltl/ast.hpp"
 #include "rlv/omega/buchi.hpp"
 #include "rlv/omega/emptiness.hpp"
+#include "rlv/util/budget.hpp"
 
 namespace rlv {
 
@@ -28,6 +36,8 @@ struct RelativeLivenessResult {
   bool holds = false;
   /// When violated: a prefix w ∈ pre(L_ω) with no continuation into P.
   std::optional<Word> violating_prefix;
+  /// Set when the budget tripped; `holds` is then meaningless.
+  std::optional<Stage> exhausted;
 };
 
 struct RelativeSafetyResult {
@@ -35,31 +45,41 @@ struct RelativeSafetyResult {
   /// When violated: a behavior x ∈ L_ω with x ∉ P all of whose prefixes can
   /// still be extended into L_ω ∩ P.
   std::optional<Lasso> counterexample;
+  /// Set when the budget tripped; `holds` is then meaningless.
+  std::optional<Stage> exhausted;
 };
 
 /// Is L_ω(property) a relative liveness property of L_ω(system)? (Def 4.1)
 [[nodiscard]] RelativeLivenessResult relative_liveness(
     const Buchi& system, const Buchi& property,
-    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain);
+    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain,
+    Budget* budget = nullptr);
 
 /// Formula flavor: the property is { x | x,λ ⊨ f }.
 [[nodiscard]] RelativeLivenessResult relative_liveness(
     const Buchi& system, Formula f, const Labeling& lambda,
-    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain);
+    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain,
+    Budget* budget = nullptr);
 
 /// Is L_ω(property) a relative safety property of L_ω(system)? (Def 4.2)
 /// The automaton flavor complements `property` with the rank-based
-/// construction — exponential; prefer the formula flavor when possible.
+/// construction — exponential; prefer the formula flavor when possible, and
+/// pass a Budget when you cannot.
 [[nodiscard]] RelativeSafetyResult relative_safety(const Buchi& system,
-                                                   const Buchi& property);
+                                                   const Buchi& property,
+                                                   Budget* budget = nullptr);
 
 [[nodiscard]] RelativeSafetyResult relative_safety(const Buchi& system,
                                                    Formula f,
-                                                   const Labeling& lambda);
+                                                   const Labeling& lambda,
+                                                   Budget* budget = nullptr);
 
-/// Classical satisfaction L_ω(system) ⊆ P (Definition 3.2).
-[[nodiscard]] bool satisfies(const Buchi& system, const Buchi& property);
+/// Classical satisfaction L_ω(system) ⊆ P (Definition 3.2). Unlike the
+/// relative_* functions this throws ResourceExhausted when `budget` trips
+/// (there is no result struct to carry the stage).
+[[nodiscard]] bool satisfies(const Buchi& system, const Buchi& property,
+                             Budget* budget = nullptr);
 [[nodiscard]] bool satisfies(const Buchi& system, Formula f,
-                             const Labeling& lambda);
+                             const Labeling& lambda, Budget* budget = nullptr);
 
 }  // namespace rlv

@@ -3,14 +3,17 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <mutex>
 
 #include "rlv/engine/fingerprint.hpp"
 #include "rlv/engine/thread_pool.hpp"
 #include "rlv/fair/fair_check.hpp"
 #include "rlv/io/format.hpp"
 #include "rlv/lang/inclusion.hpp"
+#include "rlv/lang/ops.hpp"
 #include "rlv/ltl/parser.hpp"
 #include "rlv/ltl/translate.hpp"
+#include "rlv/omega/complement.hpp"
 #include "rlv/omega/emptiness.hpp"
 #include "rlv/omega/limit.hpp"
 #include "rlv/omega/live.hpp"
@@ -44,11 +47,34 @@ std::string_view check_kind_name(CheckKind kind) {
   return "?";
 }
 
+std::optional<InclusionAlgorithm> parse_inclusion_algorithm(
+    std::string_view name) {
+  if (name == "subset") return InclusionAlgorithm::kSubset;
+  if (name == "antichain") return InclusionAlgorithm::kAntichain;
+  return std::nullopt;
+}
+
+std::string_view inclusion_algorithm_name(InclusionAlgorithm algorithm) {
+  switch (algorithm) {
+    case InclusionAlgorithm::kSubset:
+      return "subset";
+    case InclusionAlgorithm::kAntichain:
+      return "antichain";
+  }
+  return "?";
+}
+
 namespace {
 
 struct ParsedSystem {
   Nfa nfa;
   std::uint64_t fingerprint;  // structural, not text: see fingerprint.hpp
+};
+
+/// A property automaton parsed and remapped onto one system alphabet.
+struct ParsedProperty {
+  Buchi automaton;
+  std::uint64_t fingerprint;  // structural, of the remapped automaton
 };
 
 struct TranslationKey {
@@ -68,10 +94,31 @@ struct TranslationKeyHash {
   }
 };
 
+struct PropertyKey {
+  std::uint64_t text;     // fingerprint of the raw automaton text
+  const void* alphabet;   // target alphabet identity
+
+  friend bool operator==(const PropertyKey&, const PropertyKey&) = default;
+};
+
+struct PropertyKeyHash {
+  std::size_t operator()(const PropertyKey& k) const {
+    return hash_combine(std::hash<std::uint64_t>{}(k.text),
+                        std::hash<const void*>{}(k.alphabet));
+  }
+};
+
+/// The verdict key carries everything that determines a check's outcome
+/// *and presentation*: the inclusion algorithm is part of the key because
+/// subset and antichain report different (both correct) counterexample
+/// words — two queries differing only in `algorithm` must never alias to
+/// one cached verdict.
 struct VerdictKey {
-  std::uint64_t system;  // structural fingerprint
-  const void* formula;   // interned node
+  std::uint64_t system;    // structural fingerprint
+  const void* formula;     // interned node (null for automaton flavor)
+  std::uint64_t property;  // remapped property fingerprint (0 for formula)
   CheckKind kind;
+  InclusionAlgorithm algorithm;
 
   friend bool operator==(const VerdictKey&, const VerdictKey&) = default;
 };
@@ -80,91 +127,154 @@ struct VerdictKeyHash {
   std::size_t operator()(const VerdictKey& k) const {
     std::size_t h = std::hash<std::uint64_t>{}(k.system);
     h = hash_combine(h, std::hash<const void*>{}(k.formula));
-    return hash_combine(h, static_cast<std::size_t>(k.kind));
+    h = hash_combine(h, std::hash<std::uint64_t>{}(k.property));
+    h = hash_combine(h, static_cast<std::size_t>(k.kind));
+    return hash_combine(h, static_cast<std::size_t>(k.algorithm));
   }
 };
 
 }  // namespace
 
 struct Engine::Impl {
-  explicit Impl(const EngineOptions& options)
-      : systems(options.cache_capacity),
-        behaviors(options.cache_capacity),
-        prefixes(options.cache_capacity),
-        translations(options.cache_capacity),
-        verdicts(options.cache_capacity * 8),
-        pool(options.jobs <= 1 ? 0 : options.jobs) {}
+  explicit Impl(const EngineOptions& opts)
+      : options(opts),
+        systems(opts.cache_capacity),
+        behaviors(opts.cache_capacity),
+        prefixes(opts.cache_capacity),
+        translations(opts.cache_capacity),
+        properties(opts.cache_capacity),
+        verdicts(opts.cache_capacity * 8),
+        pool(opts.jobs <= 1 ? 0 : opts.jobs) {}
 
+  EngineOptions options;
   MemoCache<std::uint64_t, ParsedSystem> systems;
   MemoCache<std::uint64_t, Buchi> behaviors;
   MemoCache<std::uint64_t, Nfa> prefixes;
   MemoCache<TranslationKey, Buchi, TranslationKeyHash> translations;
+  MemoCache<PropertyKey, ParsedProperty, PropertyKeyHash> properties;
   MemoCache<VerdictKey, Verdict, VerdictKeyHash> verdicts;
   ThreadPool pool;
   std::atomic<std::uint64_t> queries_run{0};
+  mutable std::mutex profile_mutex;
+  QueryProfile profile_totals;
 
   std::shared_ptr<const Buchi> translation(Formula f, const Labeling& lambda,
-                                           bool negated) {
+                                           bool negated, Budget* budget) {
     const TranslationKey key{f.raw(), lambda.alphabet().get(), negated};
     return translations.get_or_compute(key, [&] {
-      return negated ? translate_ltl_negated(f, lambda)
-                     : translate_ltl(f, lambda);
+      return negated ? translate_ltl_negated(f, lambda, budget)
+                     : translate_ltl(f, lambda, budget);
     });
+  }
+
+  std::shared_ptr<const ParsedProperty> property(const Query& query,
+                                                 const AlphabetRef& sigma,
+                                                 Budget* budget) {
+    const PropertyKey key{fingerprint_text(query.property_automaton),
+                          sigma.get()};
+    return properties.get_or_compute(key, [&] {
+      StageScope scope(budget, Stage::kParse);
+      Buchi raw = parse_buchi(query.property_automaton);
+      Buchi remapped =
+          Buchi::from_structure(remap_alphabet(raw.structure(), sigma));
+      const std::uint64_t fp = fingerprint_buchi(remapped);
+      return ParsedProperty{std::move(remapped), fp};
+    });
+  }
+
+  std::shared_ptr<const Buchi> negated_property(
+      const std::shared_ptr<const ParsedProperty>& prop, Budget* budget) {
+    // Not memoized on its own: the verdict cache already absorbs repeats,
+    // so a complement is only rebuilt when the whole verdict is uncached.
+    return std::make_shared<const Buchi>(
+        complement_buchi(prop->automaton, budget));
   }
 
   /// The decision procedures of rlv/core/relative.hpp and
   /// rlv/fair/fair_check.hpp, restated over the cached intermediates. Every
   /// derived object is built from the *cached* behaviors automaton so that
-  /// alphabet identity (which intersect_buchi and check_inclusion assert)
+  /// alphabet identity (which intersect_buchi and check_inclusion require)
   /// is preserved even when two different texts parse to one structure.
-  Verdict decide(const std::shared_ptr<const ParsedSystem>& sys, Formula f,
-                 CheckKind kind) {
-    const auto behaviors_aut = behaviors.get_or_compute(
-        sys->fingerprint, [&] { return limit_of_prefix_closed(sys->nfa); });
+  Verdict decide(const std::shared_ptr<const ParsedSystem>& sys,
+                 const std::optional<Formula>& f,
+                 const std::shared_ptr<const ParsedProperty>& prop,
+                 const Query& query, Budget* budget) {
+    const auto behaviors_aut =
+        behaviors.get_or_compute(sys->fingerprint, [&] {
+          StageScope scope(budget, Stage::kPreTrim);
+          return limit_of_prefix_closed(sys->nfa);
+        });
     const Labeling lambda = Labeling::canonical(behaviors_aut->alphabet());
 
+    // The positive property automaton, whichever flavor the query used.
+    auto positive = [&]() -> std::shared_ptr<const Buchi> {
+      if (prop) {
+        return std::shared_ptr<const Buchi>(prop, &prop->automaton);
+      }
+      return translation(*f, lambda, /*negated=*/false, budget);
+    };
+    // ¬P: pushed-in negation for formulas, rank-based complementation for
+    // automata (the exponential path the Budget exists for).
+    auto negated = [&]() -> std::shared_ptr<const Buchi> {
+      if (prop) return negated_property(prop, budget);
+      return translation(*f, lambda, /*negated=*/true, budget);
+    };
+
     Verdict verdict;
-    switch (kind) {
+    switch (query.kind) {
       case CheckKind::kRelativeLiveness: {
         // Lemma 4.3: pre(L_ω) ⊆ pre(L_ω ∩ P); ⊇ always holds.
-        const auto property = translation(f, lambda, /*negated=*/false);
-        const Buchi intersection = intersect_buchi(*behaviors_aut, *property);
-        const Nfa pre_both = prefix_nfa(intersection);
-        const auto pre_system = prefixes.get_or_compute(
-            sys->fingerprint, [&] { return prefix_nfa(*behaviors_aut); });
-        const InclusionResult inc = check_inclusion(
-            *pre_system, pre_both, InclusionAlgorithm::kAntichain);
+        const auto property_aut = positive();
+        const Buchi intersection =
+            intersect_buchi(*behaviors_aut, *property_aut, budget);
+        Nfa pre_both = [&] {
+          StageScope scope(budget, Stage::kPreTrim);
+          return prefix_nfa(intersection);
+        }();
+        const auto pre_system =
+            prefixes.get_or_compute(sys->fingerprint, [&] {
+              StageScope scope(budget, Stage::kPreTrim);
+              return prefix_nfa(*behaviors_aut);
+            });
+        const InclusionResult inc =
+            check_inclusion(*pre_system, pre_both, query.algorithm, budget);
         verdict.holds = inc.included;
         verdict.violating_prefix = inc.counterexample;
         break;
       }
       case CheckKind::kRelativeSafety: {
         // Lemma 4.4: L_ω ∩ lim(pre(L_ω ∩ P)) ∩ ¬P = ∅.
-        const auto property = translation(f, lambda, /*negated=*/false);
-        const auto negated = translation(f, lambda, /*negated=*/true);
-        const Buchi intersection = intersect_buchi(*behaviors_aut, *property);
-        const Buchi closure =
-            limit_of_prefix_closed(prefix_nfa(intersection));
+        const auto property_aut = positive();
+        const auto negated_aut = negated();
+        const Buchi intersection =
+            intersect_buchi(*behaviors_aut, *property_aut, budget);
+        const Buchi closure = [&] {
+          StageScope scope(budget, Stage::kPreTrim);
+          return limit_of_prefix_closed(prefix_nfa(intersection));
+        }();
         const Buchi bad = intersect_buchi(
-            intersect_buchi(*behaviors_aut, closure), *negated);
-        auto lasso = find_accepting_lasso(bad);
+            intersect_buchi(*behaviors_aut, closure, budget), *negated_aut,
+            budget);
+        auto lasso = find_accepting_lasso(bad, budget);
         verdict.holds = !lasso.has_value();
         verdict.counterexample = std::move(lasso);
         break;
       }
       case CheckKind::kSatisfaction: {
-        const auto negated = translation(f, lambda, /*negated=*/true);
+        const auto negated_aut = negated();
         verdict.holds =
-            omega_empty(intersect_buchi(*behaviors_aut, *negated));
+            buchi_empty(intersect_buchi(*behaviors_aut, *negated_aut, budget),
+                        EmptinessAlgorithm::kScc, budget);
         break;
       }
       case CheckKind::kFairStrong:
       case CheckKind::kFairWeak: {
-        const auto negated = translation(f, lambda, /*negated=*/true);
+        const auto negated_aut = negated();
         const FairCheckResult res = check_fair_satisfaction_negated(
-            *behaviors_aut, *negated,
-            kind == CheckKind::kFairStrong ? FairnessKind::kStrongTransition
-                                           : FairnessKind::kWeakTransition);
+            *behaviors_aut, *negated_aut,
+            query.kind == CheckKind::kFairStrong
+                ? FairnessKind::kStrongTransition
+                : FairnessKind::kWeakTransition);
         verdict.holds = res.all_fair_runs_satisfy;
         verdict.counterexample = res.counterexample;
         break;
@@ -176,21 +286,53 @@ struct Engine::Impl {
   Verdict run_one(const Query& query) {
     const auto start = std::chrono::steady_clock::now();
     queries_run.fetch_add(1, std::memory_order_relaxed);
+
+    // One budget per query, armed from the engine options. Unarmed budgets
+    // never trip and only collect the per-stage profile, so budget-disabled
+    // verdicts are identical to pre-budget execution.
+    Budget budget;
+    if (options.timeout_ms > 0) {
+      budget.set_deadline_in(std::chrono::milliseconds(options.timeout_ms));
+    }
+    if (options.max_states > 0) budget.set_max_states(options.max_states);
+
     Verdict verdict;
     try {
-      const auto sys = systems.get_or_compute(
-          fingerprint_text(query.system), [&] {
-            Nfa nfa = parse_system(query.system);
-            const std::uint64_t fp = fingerprint_nfa(nfa);
-            return ParsedSystem{std::move(nfa), fp};
-          });
-      const Formula f = parse_ltl(query.formula);
-      const VerdictKey key{sys->fingerprint, f.raw(), query.kind};
+      std::shared_ptr<const ParsedSystem> sys;
+      std::optional<Formula> f;
+      {
+        StageScope scope(&budget, Stage::kParse);
+        sys = systems.get_or_compute(fingerprint_text(query.system), [&] {
+          Nfa nfa = parse_system(query.system);
+          const std::uint64_t fp = fingerprint_nfa(nfa);
+          return ParsedSystem{std::move(nfa), fp};
+        });
+        if (query.property_automaton.empty()) f = parse_ltl(query.formula);
+      }
+      std::shared_ptr<const ParsedProperty> prop;
+      if (!query.property_automaton.empty()) {
+        prop = property(query, sys->nfa.alphabet(), &budget);
+      }
+      const VerdictKey key{sys->fingerprint, f ? f->raw() : nullptr,
+                           prop ? prop->fingerprint : 0, query.kind,
+                           query.algorithm};
+      // A ResourceExhausted escaping decide() propagates out of
+      // get_or_compute, which drops the entry — exhausted outcomes are
+      // never cached, so a retry with a larger budget recomputes.
       verdict = *verdicts.get_or_compute(
-          key, [&] { return decide(sys, f, query.kind); });
+          key, [&] { return decide(sys, f, prop, query, &budget); });
+    } catch (const ResourceExhausted& e) {
+      verdict = Verdict{};
+      verdict.resource_exhausted = true;
+      verdict.exhausted_stage = std::string(stage_name(e.stage()));
     } catch (const std::exception& e) {
       verdict = Verdict{};
       verdict.error = e.what();
+    }
+    verdict.profile = budget.profile();
+    {
+      std::lock_guard lock(profile_mutex);
+      profile_totals += verdict.profile;
     }
     verdict.millis =
         std::chrono::duration<double, std::milli>(
@@ -223,8 +365,13 @@ EngineStats Engine::stats() const {
   stats.behaviors = impl_->behaviors.counters();
   stats.prefixes = impl_->prefixes.counters();
   stats.translations = impl_->translations.counters();
+  stats.properties = impl_->properties.counters();
   stats.verdicts = impl_->verdicts.counters();
   stats.queries_run = impl_->queries_run.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(impl_->profile_mutex);
+    stats.stages = impl_->profile_totals;
+  }
   return stats;
 }
 

@@ -10,7 +10,15 @@
 //   behaviors     system          → lim(L) Büchi automaton (Definition 6.2)
 //   prefixes      system          → trimmed pre(L_ω) NFA (Lemma 4.3's LHS)
 //   translations  formula×Σ×sign  → GPVW Büchi automaton
-//   verdicts      system×f×kind   → final Verdict
+//   properties    aut text×Σ      → parsed + remapped property Büchi
+//   verdicts      system×P×kind×algorithm → final Verdict
+//
+// Resource governance: with timeout_ms / max_states set, every query runs
+// under its own rlv::Budget; a tripped limit yields a verdict with
+// resource_exhausted set (and the tripping stage named) instead of a crash
+// or a wrong boolean. Exhausted verdicts are never cached. Per-stage
+// profiles are collected for every query (budgeted or not) and aggregated
+// into EngineStats::stages.
 //
 // Every check is a pure function of its query, so Engine::run returns
 // verdicts bit-identical to sequential execution regardless of the worker
@@ -33,6 +41,13 @@ struct EngineOptions {
   std::size_t jobs = 1;
   /// Capacity (entries) of each automaton cache; verdict cache is 8x this.
   std::size_t cache_capacity = 256;
+  /// Per-query wall-clock deadline in milliseconds; 0 = unlimited. The
+  /// clock starts when the query starts executing (not when the batch is
+  /// submitted), so a slow sibling does not eat another query's budget.
+  std::uint64_t timeout_ms = 0;
+  /// Per-query cap on constructed states/configurations across all stages;
+  /// 0 = unlimited.
+  std::uint64_t max_states = 0;
 };
 
 class Engine {

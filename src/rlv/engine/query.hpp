@@ -2,10 +2,11 @@
 
 // Query and verdict types for the batch verification engine. A Query is
 // self-contained text — the system in the rlv/io format and the property as
-// a PLTL formula — so that batches can be shipped over a wire or a file
-// without sharing in-memory objects; the engine's caches recover all
-// sharing (identical system text parses once, identical formulas translate
-// once per alphabet).
+// a PLTL formula or a Büchi automaton — so that batches can be shipped over
+// a wire or a file without sharing in-memory objects; the engine's caches
+// recover all sharing (identical system text parses once, identical
+// formulas translate once per alphabet, identical property automata parse
+// and remap once per alphabet).
 
 #include <cstdint>
 #include <optional>
@@ -14,7 +15,9 @@
 
 #include "rlv/engine/cache.hpp"
 #include "rlv/lang/alphabet.hpp"
+#include "rlv/lang/inclusion.hpp"
 #include "rlv/omega/emptiness.hpp"
+#include "rlv/util/budget.hpp"
 
 namespace rlv {
 
@@ -33,14 +36,31 @@ enum class CheckKind : std::uint8_t {
 /// Inverse of parse_check_kind.
 [[nodiscard]] std::string_view check_kind_name(CheckKind kind);
 
+/// Parses the inclusion algorithm names: subset, antichain.
+[[nodiscard]] std::optional<InclusionAlgorithm> parse_inclusion_algorithm(
+    std::string_view name);
+
+/// Inverse of parse_inclusion_algorithm.
+[[nodiscard]] std::string_view inclusion_algorithm_name(
+    InclusionAlgorithm algorithm);
+
 struct Query {
   std::string system;   // system text in the rlv/io format
-  std::string formula;  // PLTL formula text
+  std::string formula;  // PLTL formula text (ignored with property_automaton)
   CheckKind kind = CheckKind::kRelativeLiveness;
+  /// When nonempty: the property as Büchi-automaton text (rlv/io format,
+  /// parse_buchi), remapped onto the system's alphabet by symbol name; the
+  /// formula is then ignored. The rs/sat/fair flavors go through rank-based
+  /// complementation — exponential; budget accordingly.
+  std::string property_automaton = {};
+  /// Algorithm for the Lemma 4.3 prefix-inclusion check. Part of the
+  /// verdict cache key: queries differing only here never alias.
+  InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain;
 };
 
 struct Verdict {
-  /// The check's boolean outcome; meaningless when `error` is set.
+  /// The check's boolean outcome; meaningless when `error` is set or the
+  /// budget was exhausted.
   bool holds = false;
   /// Relative liveness violation: a doomed prefix.
   std::optional<Word> violating_prefix;
@@ -48,10 +68,22 @@ struct Verdict {
   std::optional<Lasso> counterexample;
   /// Nonempty when the query failed (parse error, bad formula, ...).
   std::string error;
+  /// True when the per-query budget tripped before a verdict was reached;
+  /// `exhausted_stage` then names the pipeline stage that was running.
+  /// Exhausted verdicts are never cached, so a retry with a larger budget
+  /// recomputes.
+  bool resource_exhausted = false;
+  std::string exhausted_stage;
   /// Wall-clock time this query spent executing (including cache lookups).
   double millis = 0.0;
+  /// Per-stage counters and exclusive timings for this query. Stages served
+  /// from cache contribute (almost) nothing — the profile measures work
+  /// actually done, which is what a capacity planner needs.
+  QueryProfile profile;
 
-  [[nodiscard]] bool ok() const { return error.empty(); }
+  [[nodiscard]] bool ok() const {
+    return error.empty() && !resource_exhausted;
+  }
 };
 
 /// Counter snapshot of every engine cache plus batch totals.
@@ -60,8 +92,11 @@ struct EngineStats {
   CacheCounters behaviors;     // system → lim(L) Büchi automaton
   CacheCounters prefixes;      // system → trimmed pre(L_ω) NFA
   CacheCounters translations;  // (formula, alphabet, polarity) → Büchi
-  CacheCounters verdicts;      // (system, formula, kind) → Verdict
+  CacheCounters properties;    // (automaton text, alphabet) → remapped Büchi
+  CacheCounters verdicts;      // (system, property, kind, algo) → Verdict
   std::uint64_t queries_run = 0;
+  /// Sum of every executed query's per-stage profile.
+  QueryProfile stages;
 
   [[nodiscard]] CacheCounters total() const {
     CacheCounters t;
@@ -69,6 +104,7 @@ struct EngineStats {
     t += behaviors;
     t += prefixes;
     t += translations;
+    t += properties;
     t += verdicts;
     return t;
   }

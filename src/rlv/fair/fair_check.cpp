@@ -29,7 +29,8 @@ struct FairProduct {
 };
 
 FairProduct build_product(const Buchi& system, const Buchi& negated) {
-  assert(system.alphabet() == negated.alphabet());
+  require_same_alphabet(system.alphabet(), negated.alphabet(),
+                        "fair_check product");
   FairProduct product{Nfa(system.alphabet()), {}, {}};
 
   // Flat ids for the system's own edges.

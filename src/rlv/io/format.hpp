@@ -90,4 +90,10 @@ class IoError : public std::runtime_error {
 /// Reads a whole file; throws std::runtime_error when unreadable.
 [[nodiscard]] std::string read_file(const std::string& path);
 
+/// JSON string escaping (quotes, backslashes, and control characters per
+/// RFC 8259). Every string a tool emits inside JSON — file paths, formulas,
+/// witness words, error messages — must go through this: paths and error
+/// texts are attacker-influenced in a service setting.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
 }  // namespace rlv

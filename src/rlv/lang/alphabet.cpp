@@ -26,7 +26,9 @@ Symbol Alphabet::intern(std::string_view name) {
 
 Symbol Alphabet::id(std::string_view name) const {
   auto it = ids_.find(std::string(name));
-  assert(it != ids_.end() && "symbol not interned");
+  if (it == ids_.end()) {
+    throw std::invalid_argument("symbol not interned: " + std::string(name));
+  }
   return it->second;
 }
 

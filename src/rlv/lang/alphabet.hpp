@@ -10,6 +10,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -35,7 +36,9 @@ class Alphabet {
   /// Returns the id for `name`, interning it if new.
   Symbol intern(std::string_view name);
 
-  /// Returns the id for `name`; the name must already be interned.
+  /// Returns the id for `name`; throws std::invalid_argument when the name
+  /// was never interned (an assert would vanish under NDEBUG and read past
+  /// the map's end iterator).
   [[nodiscard]] Symbol id(std::string_view name) const;
 
   /// True when `name` is already interned.
@@ -57,5 +60,19 @@ class Alphabet {
 };
 
 using AlphabetRef = std::shared_ptr<const Alphabet>;
+
+/// Precondition guard for operations that require both operands to share
+/// one alphabet *object* (symbol ids are only comparable then). Throws
+/// std::invalid_argument — unlike the asserts it replaces, this survives
+/// NDEBUG builds, where a mismatch would otherwise index out of range or
+/// silently return garbage.
+inline void require_same_alphabet(const AlphabetRef& a, const AlphabetRef& b,
+                                  const char* where) {
+  if (a != b) {
+    throw std::invalid_argument(
+        std::string(where) +
+        ": operands must share one alphabet object (use remap_alphabet)");
+  }
+}
 
 }  // namespace rlv

@@ -1,7 +1,6 @@
 #include "rlv/lang/inclusion.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -21,7 +20,7 @@ struct Config {
   Word word;  // witness word leading here (kept small: BFS order)
 };
 
-InclusionResult subset_inclusion(const Nfa& a, const Nfa& b) {
+InclusionResult subset_inclusion(const Nfa& a, const Nfa& b, Budget* budget) {
   const std::size_t nb = b.num_states();
   DynBitset b_init(nb);
   for (const State s : b.initial()) b_init.set(s);
@@ -33,6 +32,7 @@ InclusionResult subset_inclusion(const Nfa& a, const Nfa& b) {
   };
 
   std::unordered_map<State, std::vector<DynBitset>> seen;
+  std::size_t seen_total = 0;
 
   auto already_seen = [&](State left, const DynBitset& right) {
     auto it = seen.find(left);
@@ -41,10 +41,16 @@ InclusionResult subset_inclusion(const Nfa& a, const Nfa& b) {
            it->second.end();
   };
 
+  auto record = [&](State left, const DynBitset& right) {
+    seen[left].push_back(right);
+    budget_charge(budget);
+    budget_note_frontier(budget, ++seen_total);
+  };
+
   std::deque<Config> queue;
   for (const State s : a.initial()) {
     if (already_seen(s, b_init)) continue;
-    seen[s].push_back(b_init);
+    record(s, b_init);
     queue.push_back({s, b_init, {}});
   }
   while (!queue.empty()) {
@@ -56,7 +62,7 @@ InclusionResult subset_inclusion(const Nfa& a, const Nfa& b) {
     for (const auto& t : a.out(cfg.left)) {
       DynBitset next_right = b.step(cfg.right, t.symbol);
       if (already_seen(t.target, next_right)) continue;
-      seen[t.target].push_back(next_right);
+      record(t.target, next_right);
       Word w = cfg.word;
       w.push_back(t.symbol);
       queue.push_back({t.target, std::move(next_right), std::move(w)});
@@ -68,7 +74,8 @@ InclusionResult subset_inclusion(const Nfa& a, const Nfa& b) {
 /// Antichain variant: a pair (p, S) is subsumed by (p, S') with S' ⊆ S,
 /// because any counterexample reachable from (p, S) is also reachable from
 /// (p, S') (a smaller right-hand set rejects more words).
-InclusionResult antichain_inclusion(const Nfa& a, const Nfa& b) {
+InclusionResult antichain_inclusion(const Nfa& a, const Nfa& b,
+                                    Budget* budget) {
   const std::size_t nb = b.num_states();
   DynBitset b_init(nb);
   for (const State s : b.initial()) b_init.set(s);
@@ -81,6 +88,7 @@ InclusionResult antichain_inclusion(const Nfa& a, const Nfa& b) {
 
   // Antichain of ⊆-minimal right-hand sets, per left-hand state.
   std::unordered_map<State, std::vector<DynBitset>> antichain;
+  std::size_t antichain_total = 0;
 
   // Returns false when (left, right) is subsumed by an existing element;
   // otherwise inserts it and removes elements it subsumes.
@@ -89,9 +97,13 @@ InclusionResult antichain_inclusion(const Nfa& a, const Nfa& b) {
     for (const auto& existing : chain) {
       if (existing.is_subset_of(right)) return false;
     }
+    const std::size_t before = chain.size();
     std::erase_if(chain,
                   [&](const DynBitset& e) { return right.is_subset_of(e); });
+    antichain_total -= before - chain.size();
     chain.push_back(right);
+    budget_charge(budget);
+    budget_note_frontier(budget, ++antichain_total);
     return true;
   };
 
@@ -119,23 +131,27 @@ InclusionResult antichain_inclusion(const Nfa& a, const Nfa& b) {
 }  // namespace
 
 InclusionResult check_inclusion(const Nfa& a, const Nfa& b,
-                                InclusionAlgorithm algorithm) {
-  assert(a.alphabet() == b.alphabet());
+                                InclusionAlgorithm algorithm, Budget* budget) {
+  require_same_alphabet(a.alphabet(), b.alphabet(), "check_inclusion");
+  StageScope scope(budget, Stage::kInclusion);
   switch (algorithm) {
     case InclusionAlgorithm::kSubset:
-      return subset_inclusion(a, b);
+      return subset_inclusion(a, b, budget);
     case InclusionAlgorithm::kAntichain:
-      return antichain_inclusion(a, b);
+      return antichain_inclusion(a, b, budget);
   }
   return {true, std::nullopt};  // unreachable
 }
 
-bool is_included(const Nfa& a, const Nfa& b, InclusionAlgorithm algorithm) {
-  return check_inclusion(a, b, algorithm).included;
+bool is_included(const Nfa& a, const Nfa& b, InclusionAlgorithm algorithm,
+                 Budget* budget) {
+  return check_inclusion(a, b, algorithm, budget).included;
 }
 
-bool nfa_equivalent(const Nfa& a, const Nfa& b, InclusionAlgorithm algorithm) {
-  return is_included(a, b, algorithm) && is_included(b, a, algorithm);
+bool nfa_equivalent(const Nfa& a, const Nfa& b, InclusionAlgorithm algorithm,
+                    Budget* budget) {
+  return is_included(a, b, algorithm, budget) &&
+         is_included(b, a, algorithm, budget);
 }
 
 }  // namespace rlv

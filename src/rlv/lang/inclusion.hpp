@@ -8,10 +8,17 @@
 //     only ⊆-minimal subset states per left-hand state.
 // Both return a counterexample word when the inclusion fails; benches
 // compare them head-to-head (experiment E4).
+//
+// Both explorations are worst-case exponential in |b|, so they accept an
+// optional Budget (rlv/util/budget.hpp): every explored configuration is
+// charged under Stage::kInclusion, the antichain/visited-set size is
+// reported as the stage's frontier peak, and a tripped limit raises
+// ResourceExhausted instead of running unbounded.
 
 #include <optional>
 
 #include "rlv/lang/nfa.hpp"
+#include "rlv/util/budget.hpp"
 
 namespace rlv {
 
@@ -26,19 +33,23 @@ struct InclusionResult {
   std::optional<Word> counterexample;
 };
 
-/// Decides L(a) ⊆ L(b). Both automata must share the same alphabet object.
+/// Decides L(a) ⊆ L(b). Both automata must share the same alphabet object;
+/// throws std::invalid_argument otherwise (this guard survives NDEBUG).
 [[nodiscard]] InclusionResult check_inclusion(
     const Nfa& a, const Nfa& b,
-    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain);
+    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain,
+    Budget* budget = nullptr);
 
 /// Convenience wrapper returning only the verdict.
 [[nodiscard]] bool is_included(
     const Nfa& a, const Nfa& b,
-    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain);
+    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain,
+    Budget* budget = nullptr);
 
 /// L(a) = L(b) via two inclusion checks.
 [[nodiscard]] bool nfa_equivalent(
     const Nfa& a, const Nfa& b,
-    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain);
+    InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain,
+    Budget* budget = nullptr);
 
 }  // namespace rlv

@@ -14,7 +14,7 @@
 
 namespace rlv {
 
-Dfa determinize(const Nfa& nfa) {
+Dfa determinize(const Nfa& nfa, Budget* budget) {
   Dfa dfa(nfa.alphabet());
   const std::size_t n = nfa.num_states();
   const std::size_t sigma = nfa.alphabet()->size();
@@ -34,6 +34,7 @@ Dfa determinize(const Nfa& nfa) {
   auto intern = [&](const DynBitset& set) -> State {
     auto [it, inserted] = ids.emplace(set, static_cast<State>(sets.size()));
     if (inserted) {
+      budget_charge(budget);
       bool acc = false;
       set.for_each([&](std::size_t s) { acc = acc || nfa.is_accepting(s); });
       [[maybe_unused]] const State d = dfa.add_state(acc);
@@ -92,7 +93,7 @@ Dfa trim_dfa(const Dfa& dfa) {
 
 }  // namespace
 
-Dfa minimize(const Dfa& input) {
+Dfa minimize(const Dfa& input, Budget* budget) {
   const Dfa dfa = input.complete();
   const std::size_t n = dfa.num_states();
   const std::size_t sigma = dfa.alphabet()->size();
@@ -132,6 +133,7 @@ Dfa minimize(const Dfa& input) {
   std::vector<std::uint32_t> touched_blocks;
 
   while (!work.empty()) {
+    budget_tick(budget);
     const auto [splitter, a] = work.front();
     work.pop_front();
 
@@ -208,7 +210,7 @@ Dfa complement(const Dfa& input) {
 }
 
 Nfa intersect(const Nfa& a, const Nfa& b) {
-  assert(a.alphabet() == b.alphabet());
+  require_same_alphabet(a.alphabet(), b.alphabet(), "intersect");
   Nfa result(a.alphabet());
 
   std::unordered_map<std::pair<State, State>, State, PairHash> ids;
@@ -243,7 +245,7 @@ Nfa intersect(const Nfa& a, const Nfa& b) {
 }
 
 Nfa union_nfa(const Nfa& a, const Nfa& b) {
-  assert(a.alphabet() == b.alphabet());
+  require_same_alphabet(a.alphabet(), b.alphabet(), "union_nfa");
   Nfa result(a.alphabet());
   for (State s = 0; s < a.num_states(); ++s) {
     result.add_state(a.is_accepting(s));
@@ -285,7 +287,7 @@ Nfa reverse_nfa(const Nfa& a) {
 }
 
 Nfa concat_nfa(const Nfa& a, const Nfa& b) {
-  assert(a.alphabet() == b.alphabet());
+  require_same_alphabet(a.alphabet(), b.alphabet(), "concat_nfa");
   // ε ∈ L(b) makes a's accepting states accepting in the concatenation.
   bool b_has_epsilon = false;
   for (const State s : b.initial()) {

@@ -11,17 +11,21 @@
 
 #include "rlv/lang/dfa.hpp"
 #include "rlv/lang/nfa.hpp"
+#include "rlv/util/budget.hpp"
 
 namespace rlv {
 
 /// Subset construction. Only reachable, non-empty subsets become states, so
-/// the result is a partial DFA for the same language.
-[[nodiscard]] Dfa determinize(const Nfa& nfa);
+/// the result is a partial DFA for the same language. Exponential in the
+/// worst case; each subset-state built is charged to `budget` (under the
+/// caller's current stage).
+[[nodiscard]] Dfa determinize(const Nfa& nfa, Budget* budget = nullptr);
 
 /// Hopcroft minimization. Accepts a partial DFA; the result is again partial
 /// (the rejecting sink, if any, is removed) and is the unique minimal DFA of
-/// the language up to isomorphism.
-[[nodiscard]] Dfa minimize(const Dfa& dfa);
+/// the language up to isomorphism. `budget` bounds wall time (the splitter
+/// loop ticks the deadline).
+[[nodiscard]] Dfa minimize(const Dfa& dfa, Budget* budget = nullptr);
 
 /// Complement w.r.t. Σ*: completes and flips acceptance.
 [[nodiscard]] Dfa complement(const Dfa& dfa);

@@ -5,6 +5,8 @@
 #include <deque>
 #include <mutex>
 #include <shared_mutex>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "rlv/util/hash.hpp"
@@ -361,7 +363,14 @@ Labeling Labeling::canonical(AlphabetRef sigma) {
 Labeling::Labeling(AlphabetRef sigma,
                    std::vector<std::vector<std::string>> labels)
     : sigma_(std::move(sigma)), labels_(std::move(labels)) {
-  assert(labels_.size() == sigma_->size());
+  if (labels_.size() != sigma_->size()) {
+    // Reached from translate_ltl via user-supplied labelings; an assert
+    // would vanish under NDEBUG and turn into out-of-range reads.
+    throw std::invalid_argument(
+        "Labeling: need exactly one label set per alphabet symbol (got " +
+        std::to_string(labels_.size()) + " for |Sigma| = " +
+        std::to_string(sigma_->size()) + ")");
+  }
   for (auto& set : labels_) std::sort(set.begin(), set.end());
 }
 

@@ -51,12 +51,13 @@ struct PendingNode {
 
 /// Expands `seed` into the set of completed nodes ("cover" of the formula
 /// set): each completed node is one disjunct of the tableau decomposition.
-std::vector<NodeKey> cover(FormulaSet seed) {
+std::vector<NodeKey> cover(FormulaSet seed, Budget* budget) {
   std::vector<NodeKey> done;
   std::vector<PendingNode> work;
   work.push_back({std::move(seed), {}, {}});
 
   while (!work.empty()) {
+    budget_tick(budget);
     PendingNode node = std::move(work.back());
     work.pop_back();
 
@@ -179,9 +180,10 @@ bool letter_compatible(const FormulaSet& old, Symbol a,
   return true;
 }
 
-}  // namespace
-
-GenBuchi translate_ltl_gen(Formula f, const Labeling& lambda) {
+/// Unscoped worker shared by the public entry points, each of which opens
+/// its own StageScope (so nested calls don't inflate the stage call count).
+GenBuchi translate_gen_impl(Formula f, const Labeling& lambda,
+                            Budget* budget) {
   const Formula phi = to_pnf(f);
   const AlphabetRef& sigma = lambda.alphabet();
 
@@ -200,6 +202,7 @@ GenBuchi translate_ltl_gen(Formula f, const Labeling& lambda) {
   auto intern = [&](NodeKey key) -> State {
     auto [it, inserted] = ids.emplace(std::move(key), kNoState);
     if (inserted) {
+      budget_charge(budget);
       it->second = result.structure.add_state();
       keys.push_back(it->first);
       worklist.push_back(it->second);
@@ -215,7 +218,7 @@ GenBuchi translate_ltl_gen(Formula f, const Labeling& lambda) {
     }
   };
 
-  for (NodeKey& node : cover({phi})) {
+  for (NodeKey& node : cover({phi}, budget)) {
     NodeKey copy = node;
     const State s = intern(std::move(node));
     connect(init, copy, s);
@@ -225,7 +228,7 @@ GenBuchi translate_ltl_gen(Formula f, const Labeling& lambda) {
     const State s = worklist.back();
     worklist.pop_back();
     const NodeKey current = keys[s - 1];  // states are init + dense ids
-    for (NodeKey& succ : cover(current.next)) {
+    for (NodeKey& succ : cover(current.next, budget)) {
       NodeKey copy = succ;
       const State t = intern(std::move(succ));
       connect(s, copy, t);
@@ -249,12 +252,22 @@ GenBuchi translate_ltl_gen(Formula f, const Labeling& lambda) {
   return result;
 }
 
-Buchi translate_ltl(Formula f, const Labeling& lambda) {
-  return degeneralize(translate_ltl_gen(f, lambda));
+}  // namespace
+
+GenBuchi translate_ltl_gen(Formula f, const Labeling& lambda, Budget* budget) {
+  StageScope scope(budget, Stage::kTranslate);
+  return translate_gen_impl(f, lambda, budget);
 }
 
-Buchi translate_ltl_negated(Formula f, const Labeling& lambda) {
-  return degeneralize(translate_ltl_gen(f_not(f), lambda));
+Buchi translate_ltl(Formula f, const Labeling& lambda, Budget* budget) {
+  StageScope scope(budget, Stage::kTranslate);
+  return degeneralize(translate_gen_impl(f, lambda, budget), budget);
+}
+
+Buchi translate_ltl_negated(Formula f, const Labeling& lambda,
+                            Budget* budget) {
+  StageScope scope(budget, Stage::kTranslate);
+  return degeneralize(translate_gen_impl(f_not(f), lambda, budget), budget);
 }
 
 }  // namespace rlv

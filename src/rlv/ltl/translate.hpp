@@ -12,20 +12,29 @@
 
 #include "rlv/ltl/ast.hpp"
 #include "rlv/omega/buchi.hpp"
+#include "rlv/util/budget.hpp"
 
 namespace rlv {
 
+// All three entry points charge each constructed tableau state to the
+// optional Budget under Stage::kTranslate, and tick the deadline inside the
+// cover() expansion (which can be exponential in the formula size on its
+// own, before any state is interned).
+
 /// Büchi automaton for { x ∈ Σ^ω | x,λ ⊨ f }. The formula is converted to
 /// positive normal form internally.
-[[nodiscard]] Buchi translate_ltl(Formula f, const Labeling& lambda);
+[[nodiscard]] Buchi translate_ltl(Formula f, const Labeling& lambda,
+                                  Budget* budget = nullptr);
 
 /// Büchi automaton for the complement property { x | x,λ ⊭ f }: translation
 /// of the pushed-in negation. Cheaper and far smaller than rank-based
 /// complementation of translate_ltl(f).
-[[nodiscard]] Buchi translate_ltl_negated(Formula f, const Labeling& lambda);
+[[nodiscard]] Buchi translate_ltl_negated(Formula f, const Labeling& lambda,
+                                          Budget* budget = nullptr);
 
 /// The generalized (pre-degeneralization) automaton, exposed for tests and
 /// size benchmarks.
-[[nodiscard]] GenBuchi translate_ltl_gen(Formula f, const Labeling& lambda);
+[[nodiscard]] GenBuchi translate_ltl_gen(Formula f, const Labeling& lambda,
+                                         Budget* budget = nullptr);
 
 }  // namespace rlv

@@ -1,16 +1,15 @@
 #include "rlv/omega/buchi.hpp"
 
-#include <cassert>
-
 namespace rlv {
 
-Buchi degeneralize(const GenBuchi& gba) {
+Buchi degeneralize(const GenBuchi& gba, Budget* budget) {
   const std::size_t n = gba.structure.num_states();
   const std::size_t k = gba.sets.size();
 
   Buchi result(gba.structure.alphabet());
   if (k == 0) {
     // Every infinite run accepts: mark all states accepting.
+    budget_charge(budget, n);
     for (State s = 0; s < n; ++s) result.add_state(true);
     for (State s = 0; s < n; ++s) {
       for (const auto& t : gba.structure.out(s)) {
@@ -28,6 +27,7 @@ Buchi degeneralize(const GenBuchi& gba) {
     return static_cast<State>(level * n + s);
   };
   for (std::size_t level = 0; level <= k; ++level) {
+    budget_charge(budget, n);
     for (State s = 0; s < n; ++s) {
       result.add_state(level == k);
     }

@@ -18,6 +18,7 @@
 #include "rlv/lang/alphabet.hpp"
 #include "rlv/lang/nfa.hpp"
 #include "rlv/util/bitset.hpp"
+#include "rlv/util/budget.hpp"
 
 namespace rlv {
 
@@ -79,7 +80,8 @@ struct GenBuchi {
 
 /// Degeneralization: counter construction producing an equivalent Büchi
 /// automaton with |Q| * (k+1) states for k acceptance sets (k >= 1), or a
-/// direct all-accepting copy for k = 0.
-[[nodiscard]] Buchi degeneralize(const GenBuchi& gba);
+/// direct all-accepting copy for k = 0. Each constructed state is charged
+/// to `budget` under the caller's current stage.
+[[nodiscard]] Buchi degeneralize(const GenBuchi& gba, Budget* budget = nullptr);
 
 }  // namespace rlv

@@ -1,6 +1,5 @@
 #include "rlv/omega/complement.hpp"
 
-#include <cassert>
 #include <cstdint>
 #include <map>
 #include <utility>
@@ -22,16 +21,19 @@ struct Builder {
   std::map<Key, State> ids;
   std::vector<Key> pending;
   State sink = kNoState;
+  Budget* budget;
 
-  explicit Builder(const Buchi& input)
+  explicit Builder(const Buchi& input, Budget* b)
       : a(input),
         n(input.num_states()),
         max_rank(static_cast<std::int32_t>(2 * input.num_states())),
-        result(input.alphabet()) {}
+        result(input.alphabet()),
+        budget(b) {}
 
   State intern(const Key& key) {
     auto [it, inserted] = ids.emplace(key, kNoState);
     if (inserted) {
+      budget_charge(budget);
       // Accepting iff the obligation set (second half of the key) is empty.
       bool obligations = false;
       for (std::size_t q = 0; q < n; ++q) {
@@ -116,6 +118,7 @@ struct Builder {
       step[i] = a.is_accepting(static_cast<State>(q)) ? 2 : 1;
     }
     while (true) {
+      budget_tick(budget);
       emit();
       std::size_t i = 0;
       for (; i < domain.size(); ++i) {
@@ -131,8 +134,9 @@ struct Builder {
 
 }  // namespace
 
-Buchi complement_buchi(const Buchi& a) {
-  Builder b(a);
+Buchi complement_buchi(const Buchi& a, Budget* budget) {
+  StageScope scope(budget, Stage::kComplement);
+  Builder b(a, budget);
 
   Key init(2 * a.num_states(), -1);
   for (std::size_t q = 0; q < a.num_states(); ++q) init[a.num_states() + q] = 0;

@@ -7,6 +7,7 @@
 // automata of this library's use cases.
 
 #include "rlv/omega/buchi.hpp"
+#include "rlv/util/budget.hpp"
 
 namespace rlv {
 
@@ -16,6 +17,12 @@ namespace rlv {
 /// ranks forbidden on accepting states) and an obligation set O of
 /// even-ranked states; a run accepts iff O empties infinitely often. Words
 /// all of whose runs die are routed to an accepting sink.
-[[nodiscard]] Buchi complement_buchi(const Buchi& a);
+///
+/// This is the most explosive construction in the library (2^O(n log n)
+/// states); pass a Budget to bound it. Each interned complement state is
+/// charged under Stage::kComplement and the ranking odometer ticks the
+/// deadline, so a ResourceExhausted escape is prompt even when a single
+/// expand() enumerates many rankings.
+[[nodiscard]] Buchi complement_buchi(const Buchi& a, Budget* budget = nullptr);
 
 }  // namespace rlv

@@ -16,7 +16,7 @@ bool empty_scc(const Buchi& a) { return omega_empty(a); }
 /// Nested DFS (CVWY). The blue search explores the automaton; from the
 /// postorder visit of every accepting state, the red search looks for a
 /// cycle back onto the blue stack.
-bool empty_ndfs(const Buchi& a) {
+bool empty_ndfs(const Buchi& a, Budget* budget) {
   const std::size_t n = a.num_states();
   std::vector<bool> blue(n, false);
   std::vector<bool> red(n, false);
@@ -57,6 +57,7 @@ bool empty_ndfs(const Buchi& a) {
     on_stack[init] = true;
     stack.push_back({init, 0});
     while (!stack.empty()) {
+      budget_tick(budget);
       Frame& f = stack.back();
       if (f.edge < a.out(f.state).size()) {
         const State t = a.out(f.state)[f.edge++].target;
@@ -81,17 +82,20 @@ bool empty_ndfs(const Buchi& a) {
 
 }  // namespace
 
-bool buchi_empty(const Buchi& a, EmptinessAlgorithm algorithm) {
+bool buchi_empty(const Buchi& a, EmptinessAlgorithm algorithm,
+                 Budget* budget) {
+  StageScope scope(budget, Stage::kEmptiness);
   switch (algorithm) {
     case EmptinessAlgorithm::kScc:
       return empty_scc(a);
     case EmptinessAlgorithm::kNestedDfs:
-      return empty_ndfs(a);
+      return empty_ndfs(a, budget);
   }
   return true;  // unreachable
 }
 
-std::optional<Lasso> find_accepting_lasso(const Buchi& a) {
+std::optional<Lasso> find_accepting_lasso(const Buchi& a, Budget* budget) {
+  StageScope scope(budget, Stage::kEmptiness);
   const std::size_t n = a.num_states();
   const DynBitset live = live_states(a);
 
@@ -120,6 +124,7 @@ std::optional<Lasso> find_accepting_lasso(const Buchi& a) {
   }
   State anchor = kNoState;
   while (!queue.empty()) {
+    budget_tick(budget);
     const State s = queue.front();
     queue.pop();
     if (is_anchor(s)) {

@@ -10,6 +10,7 @@
 
 #include "rlv/lang/alphabet.hpp"
 #include "rlv/omega/buchi.hpp"
+#include "rlv/util/budget.hpp"
 
 namespace rlv {
 
@@ -25,11 +26,15 @@ enum class EmptinessAlgorithm {
   kNestedDfs,
 };
 
-/// True when L_ω(a) = ∅.
+/// True when L_ω(a) = ∅. Linear in the automaton, but the automaton handed
+/// in is often a product/complement blow-up, so the search loops still tick
+/// the optional Budget's deadline under Stage::kEmptiness.
 [[nodiscard]] bool buchi_empty(
-    const Buchi& a, EmptinessAlgorithm algorithm = EmptinessAlgorithm::kScc);
+    const Buchi& a, EmptinessAlgorithm algorithm = EmptinessAlgorithm::kScc,
+    Budget* budget = nullptr);
 
 /// An accepted lasso u·v^ω when the language is non-empty.
-[[nodiscard]] std::optional<Lasso> find_accepting_lasso(const Buchi& a);
+[[nodiscard]] std::optional<Lasso> find_accepting_lasso(
+    const Buchi& a, Budget* budget = nullptr);
 
 }  // namespace rlv

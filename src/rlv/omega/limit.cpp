@@ -1,6 +1,6 @@
 #include "rlv/omega/limit.hpp"
 
-#include <cassert>
+#include <stdexcept>
 
 #include "rlv/lang/ops.hpp"
 #include "rlv/omega/live.hpp"
@@ -12,8 +12,14 @@ Buchi limit_of_prefix_closed(const Nfa& nfa) {
   // infinite run; trim_omega removes states without infinite continuation.
   Nfa structure = trim(nfa);
   for (State s = 0; s < structure.num_states(); ++s) {
-    assert(structure.is_accepting(s) &&
-           "limit_of_prefix_closed expects an all-accepting automaton");
+    if (!structure.is_accepting(s)) {
+      // An assert here would vanish under NDEBUG and silently compute
+      // lim of the wrong language; lim(L) = L^ω-limit only needs the
+      // all-accepting reading for prefix-closed L.
+      throw std::invalid_argument(
+          "limit_of_prefix_closed: automaton has a trimmed non-accepting "
+          "state; use limit_general for non-prefix-closed languages");
+    }
     structure.set_accepting(s, true);
   }
   return trim_omega(Buchi::from_structure(std::move(structure)));

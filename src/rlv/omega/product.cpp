@@ -1,6 +1,5 @@
 #include "rlv/omega/product.hpp"
 
-#include <cassert>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -9,8 +8,9 @@
 
 namespace rlv {
 
-GenBuchi product_gen(const Buchi& a, const Buchi& b) {
-  assert(a.alphabet() == b.alphabet());
+GenBuchi product_gen(const Buchi& a, const Buchi& b, Budget* budget) {
+  require_same_alphabet(a.alphabet(), b.alphabet(), "product_gen");
+  StageScope scope(budget, Stage::kProduct);
   GenBuchi result(a.alphabet());
 
   std::unordered_map<std::pair<State, State>, State, PairHash> ids;
@@ -19,6 +19,7 @@ GenBuchi product_gen(const Buchi& a, const Buchi& b) {
   auto intern = [&](State p, State q) -> State {
     auto [it, inserted] = ids.emplace(std::make_pair(p, q), kNoState);
     if (inserted) {
+      budget_charge(budget);
       it->second = result.structure.add_state(false);
       worklist.emplace_back(p, q);
       states.emplace_back(p, q);
@@ -56,12 +57,13 @@ GenBuchi product_gen(const Buchi& a, const Buchi& b) {
   return result;
 }
 
-Buchi intersect_buchi(const Buchi& a, const Buchi& b) {
-  return degeneralize(product_gen(a, b));
+Buchi intersect_buchi(const Buchi& a, const Buchi& b, Budget* budget) {
+  StageScope scope(budget, Stage::kProduct);
+  return degeneralize(product_gen(a, b, budget), budget);
 }
 
 Buchi union_buchi(const Buchi& a, const Buchi& b) {
-  assert(a.alphabet() == b.alphabet());
+  require_same_alphabet(a.alphabet(), b.alphabet(), "union_buchi");
   Buchi result(a.alphabet());
   for (State s = 0; s < a.num_states(); ++s) {
     result.add_state(a.is_accepting(s));

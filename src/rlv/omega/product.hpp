@@ -3,19 +3,25 @@
 // Büchi intersection. L_ω ∩ P — the right-hand side of the Lemma 4.3
 // characterization — is computed as a generalized-Büchi product (one
 // acceptance set per operand) followed by degeneralization. The reachable
-// part only is constructed.
+// part only is constructed. Each product state (and each degeneralization
+// level copy) is charged to the optional Budget under Stage::kProduct.
+//
+// Both operands must share one alphabet object; std::invalid_argument
+// otherwise (the guard survives NDEBUG builds).
 
 #include "rlv/omega/buchi.hpp"
+#include "rlv/util/budget.hpp"
 
 namespace rlv {
 
-/// Büchi automaton for L_ω(a) ∩ L_ω(b). Both operands must share the same
-/// alphabet object.
-[[nodiscard]] Buchi intersect_buchi(const Buchi& a, const Buchi& b);
+/// Büchi automaton for L_ω(a) ∩ L_ω(b).
+[[nodiscard]] Buchi intersect_buchi(const Buchi& a, const Buchi& b,
+                                    Budget* budget = nullptr);
 
 /// Generalized-Büchi product, exposed for tests and for callers that want to
 /// keep the two acceptance sets separate.
-[[nodiscard]] GenBuchi product_gen(const Buchi& a, const Buchi& b);
+[[nodiscard]] GenBuchi product_gen(const Buchi& a, const Buchi& b,
+                                   Budget* budget = nullptr);
 
 /// Disjoint union: L_ω(a) ∪ L_ω(b).
 [[nodiscard]] Buchi union_buchi(const Buchi& a, const Buchi& b);

@@ -1,0 +1,45 @@
+#include "rlv/util/budget.hpp"
+
+namespace rlv {
+
+std::string_view stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kParse:
+      return "parse";
+    case Stage::kPreTrim:
+      return "pre_trim";
+    case Stage::kTranslate:
+      return "translate";
+    case Stage::kProduct:
+      return "product";
+    case Stage::kInclusion:
+      return "inclusion";
+    case Stage::kEmptiness:
+      return "emptiness";
+    case Stage::kComplement:
+      return "complement";
+    case Stage::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string exhausted_message(Stage stage, ResourceExhausted::Kind kind) {
+  std::string message = "resource exhausted (";
+  message += kind == ResourceExhausted::Kind::kDeadline ? "deadline"
+                                                        : "state cap";
+  message += ") in stage ";
+  message += stage_name(stage);
+  return message;
+}
+
+}  // namespace
+
+ResourceExhausted::ResourceExhausted(Stage stage, Kind kind)
+    : std::runtime_error(exhausted_message(stage, kind)),
+      stage_(stage),
+      kind_(kind) {}
+
+}  // namespace rlv

@@ -1,0 +1,360 @@
+// Tests for rlv::Budget resource governance: stage attribution, state caps,
+// deadlines, ResourceExhausted propagation through the kernels and the
+// relative liveness/safety pipeline, engine surfacing as resource_exhausted
+// verdicts, and the guarantee that a generous budget never changes a
+// verdict relative to unbudgeted execution.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "rlv/core/relative.hpp"
+#include "rlv/engine/engine.hpp"
+#include "rlv/gen/random.hpp"
+#include "rlv/io/format.hpp"
+#include "rlv/lang/inclusion.hpp"
+#include "rlv/lang/ops.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/omega/complement.hpp"
+#include "rlv/omega/limit.hpp"
+#include "rlv/omega/product.hpp"
+#include "rlv/util/budget.hpp"
+#include "rlv/util/rng.hpp"
+
+namespace rlv {
+namespace {
+
+/// Dense nondeterministic Büchi automaton: every state initial, complete
+/// transition relation onto every state, one accepting state. Rank-based
+/// complementation of this shape explodes combinatorially.
+Buchi dense_buchi(std::size_t num_states, AlphabetRef sigma) {
+  Buchi aut(sigma);
+  for (State s = 0; s < num_states; ++s) {
+    aut.add_state(s == 0);
+    aut.set_initial(s);
+  }
+  for (State s = 0; s < num_states; ++s) {
+    for (Symbol a = 0; a < sigma->size(); ++a) {
+      for (State t = 0; t < num_states; ++t) aut.add_transition(s, a, t);
+    }
+  }
+  return aut;
+}
+
+// ---------------------------------------------------------------------------
+// Budget primitives.
+
+TEST(Budget, StateCapTripsWithStageAttribution) {
+  Budget budget;
+  budget.set_max_states(10);
+  StageScope scope(&budget, Stage::kComplement);
+  for (int i = 0; i < 10; ++i) budget.charge();
+  try {
+    budget.charge();
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.stage(), Stage::kComplement);
+    EXPECT_EQ(e.kind(), ResourceExhausted::Kind::kStates);
+  }
+  EXPECT_EQ(budget.profile()[Stage::kComplement].states_built, 11u);
+}
+
+TEST(Budget, ExpiredDeadlineTripsAtNextStageBoundary) {
+  Budget budget;
+  budget.set_deadline_in(std::chrono::milliseconds(0));
+  // The entry check of a new StageScope consults the clock directly, so an
+  // already-expired budget trips even if nothing was ever charged.
+  EXPECT_THROW(
+      { StageScope scope(&budget, Stage::kInclusion); },
+      ResourceExhausted);
+}
+
+TEST(Budget, NullBudgetHelpersAreNoOps) {
+  budget_charge(nullptr, 1000);
+  budget_tick(nullptr);
+  budget_note_frontier(nullptr, 1000);
+  StageScope scope(nullptr, Stage::kProduct);  // must not crash
+}
+
+TEST(Budget, NestedScopesRecordExclusiveTime) {
+  Budget budget;
+  {
+    StageScope outer(&budget, Stage::kTranslate);
+    { StageScope inner(&budget, Stage::kProduct); }
+    budget.charge(3);
+  }
+  const QueryProfile& p = budget.profile();
+  EXPECT_EQ(p[Stage::kTranslate].calls, 1u);
+  EXPECT_EQ(p[Stage::kProduct].calls, 1u);
+  EXPECT_EQ(p[Stage::kTranslate].states_built, 3u);
+  // Exclusive accounting: total = sum of per-stage exclusive nanos, and the
+  // outer stage's nanos exclude the inner scope's.
+  EXPECT_GE(p.total_nanos(), p[Stage::kProduct].nanos);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-level tripping.
+
+TEST(Budget, ComplementStateCapRaisesInComplementStage) {
+  const AlphabetRef sigma = random_alphabet(2);
+  const Buchi hard = dense_buchi(6, sigma);
+  Budget budget;
+  budget.set_max_states(200);
+  try {
+    const Buchi c = complement_buchi(hard, &budget);
+    FAIL() << "expected ResourceExhausted, got " << c.num_states()
+           << " states";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.stage(), Stage::kComplement);
+    EXPECT_EQ(e.kind(), ResourceExhausted::Kind::kStates);
+  }
+}
+
+TEST(Budget, ComplementDeadlineRaisesPromptly) {
+  const AlphabetRef sigma = random_alphabet(2);
+  const Buchi hard = dense_buchi(7, sigma);
+  Budget budget;
+  budget.set_deadline_in(std::chrono::milliseconds(50));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)complement_buchi(hard, &budget), ResourceExhausted);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // The tick amortization checks the clock every 64 steps; the raise must
+  // come promptly, not after the (hours-long) full construction. Generous
+  // margin: construction must have aborted within a second of the deadline.
+  EXPECT_LT(elapsed.count(), 2000);
+}
+
+TEST(Budget, DeterminizeChargesUnderCallerStage) {
+  Rng rng(7);
+  const AlphabetRef sigma = random_alphabet(2);
+  const Nfa nfa = random_nfa(rng, 8, sigma);
+  Budget budget;
+  {
+    StageScope scope(&budget, Stage::kPreTrim);
+    const Dfa dfa = determinize(nfa, &budget);
+    EXPECT_EQ(budget.profile()[Stage::kPreTrim].states_built,
+              dfa.num_states());
+  }
+}
+
+TEST(Budget, InclusionRecordsFrontierPeak) {
+  Rng rng(11);
+  const AlphabetRef sigma = random_alphabet(2);
+  const Nfa a = random_nfa(rng, 6, sigma);
+  const Nfa b = random_nfa(rng, 6, sigma);
+  Budget budget;
+  (void)check_inclusion(a, b, InclusionAlgorithm::kAntichain, &budget);
+  const StageMetrics& m = budget.profile()[Stage::kInclusion];
+  EXPECT_EQ(m.calls, 1u);
+  if (m.states_built > 0) {
+    EXPECT_GE(m.peak_antichain, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// relative_* surface the tripped stage instead of a wrong boolean.
+
+TEST(Budget, RelativeSafetyAutomatonFlavorReportsExhausted) {
+  Rng rng(3);
+  const AlphabetRef sigma = random_alphabet(2);
+  const Nfa system_nfa = random_transition_system(rng, 6, sigma);
+  const Buchi system = limit_of_prefix_closed(system_nfa);
+  const Buchi hard = dense_buchi(6, sigma);
+
+  Budget budget;
+  budget.set_max_states(500);
+  const RelativeSafetyResult res = relative_safety(system, hard, &budget);
+  ASSERT_TRUE(res.exhausted.has_value());
+  EXPECT_EQ(*res.exhausted, Stage::kComplement);
+  EXPECT_FALSE(res.counterexample.has_value());
+}
+
+TEST(Budget, RelativeLivenessFormulaFlavorUnaffectedByGenerousBudget) {
+  Rng rng(17);
+  for (int round = 0; round < 25; ++round) {
+    const AlphabetRef sigma = random_alphabet(2 + round % 2);
+    const Nfa system_nfa = random_transition_system(rng, 4 + round % 4, sigma);
+    const Buchi system = limit_of_prefix_closed(system_nfa);
+    std::vector<std::string> atoms;
+    for (Symbol a = 0; a < sigma->size(); ++a) {
+      atoms.push_back(std::string(sigma->name(a)));
+    }
+    const Formula f = random_formula(rng, atoms, 3);
+    const Labeling lambda = Labeling::canonical(sigma);
+
+    Budget generous;
+    generous.set_max_states(50'000'000);
+    generous.set_deadline_in(std::chrono::minutes(10));
+
+    const RelativeLivenessResult plain = relative_liveness(system, f, lambda);
+    const RelativeLivenessResult budgeted =
+        relative_liveness(system, f, lambda, InclusionAlgorithm::kAntichain,
+                          &generous);
+    ASSERT_FALSE(plain.exhausted.has_value());
+    ASSERT_FALSE(budgeted.exhausted.has_value());
+    EXPECT_EQ(plain.holds, budgeted.holds) << "round " << round;
+    EXPECT_EQ(plain.violating_prefix, budgeted.violating_prefix)
+        << "round " << round;
+  }
+}
+
+TEST(Budget, RelativeSafetyAutomatonFlavorUnaffectedByGenerousBudget) {
+  Rng rng(23);
+  for (int round = 0; round < 10; ++round) {
+    const AlphabetRef sigma = random_alphabet(2);
+    const Nfa system_nfa = random_transition_system(rng, 4, sigma);
+    const Buchi system = limit_of_prefix_closed(system_nfa);
+    // Small random properties keep the unbudgeted complement tractable.
+    const Buchi property = random_buchi(rng, 3, sigma);
+
+    Budget generous;
+    generous.set_max_states(50'000'000);
+    generous.set_deadline_in(std::chrono::minutes(10));
+
+    const RelativeSafetyResult plain = relative_safety(system, property);
+    const RelativeSafetyResult budgeted =
+        relative_safety(system, property, &generous);
+    ASSERT_FALSE(plain.exhausted.has_value());
+    ASSERT_FALSE(budgeted.exhausted.has_value());
+    EXPECT_EQ(plain.holds, budgeted.holds) << "round " << round;
+  }
+}
+
+TEST(Budget, InclusionVerdictsUnaffectedByGenerousBudget) {
+  Rng rng(29);
+  for (int round = 0; round < 50; ++round) {
+    const AlphabetRef sigma = random_alphabet(2);
+    const Nfa a = random_nfa(rng, 5, sigma);
+    const Nfa b = random_nfa(rng, 5, sigma);
+    Budget generous;
+    generous.set_max_states(50'000'000);
+    for (const auto algorithm :
+         {InclusionAlgorithm::kSubset, InclusionAlgorithm::kAntichain}) {
+      const InclusionResult plain = check_inclusion(a, b, algorithm);
+      const InclusionResult budgeted =
+          check_inclusion(a, b, algorithm, &generous);
+      EXPECT_EQ(plain.included, budgeted.included) << "round " << round;
+      EXPECT_EQ(plain.counterexample, budgeted.counterexample)
+          << "round " << round;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine surfacing.
+
+TEST(Budget, EngineMarksExponentialQueryExhaustedAndAnswersSiblings) {
+  Rng rng(5);
+  const AlphabetRef sigma = random_alphabet(2);
+  const Nfa system_nfa = random_transition_system(rng, 5, sigma);
+  const std::string system_text = serialize_system(system_nfa);
+  const std::string hard_text = serialize_buchi(dense_buchi(6, sigma));
+
+  Query hard;
+  hard.system = system_text;
+  hard.property_automaton = hard_text;
+  hard.kind = CheckKind::kRelativeSafety;
+
+  Query sibling;
+  sibling.system = system_text;
+  sibling.formula = "G F a0";
+  sibling.kind = CheckKind::kRelativeLiveness;
+
+  EngineOptions limited;
+  limited.max_states = 2'000;
+  Engine engine(limited);
+  const std::vector<Verdict> verdicts = engine.run({sibling, hard, sibling});
+
+  Engine unbudgeted{EngineOptions{}};
+  const Verdict reference = unbudgeted.run_one(sibling);
+
+  ASSERT_EQ(verdicts.size(), 3u);
+  EXPECT_TRUE(verdicts[0].ok());
+  EXPECT_EQ(verdicts[0].holds, reference.holds);
+  EXPECT_FALSE(verdicts[1].ok());
+  EXPECT_TRUE(verdicts[1].resource_exhausted);
+  EXPECT_EQ(verdicts[1].exhausted_stage, "complement");
+  EXPECT_TRUE(verdicts[1].error.empty());
+  EXPECT_TRUE(verdicts[2].ok());
+  EXPECT_EQ(verdicts[2].holds, reference.holds);
+}
+
+TEST(Budget, ExhaustedVerdictsAreNeverCached) {
+  Rng rng(5);
+  const AlphabetRef sigma = random_alphabet(2);
+  const Nfa system_nfa = random_transition_system(rng, 5, sigma);
+
+  Query hard;
+  hard.system = serialize_system(system_nfa);
+  hard.property_automaton = serialize_buchi(dense_buchi(6, sigma));
+  hard.kind = CheckKind::kRelativeSafety;
+
+  EngineOptions limited;
+  limited.max_states = 2'000;
+  Engine engine(limited);
+  const Verdict first = engine.run_one(hard);
+  const Verdict second = engine.run_one(hard);
+  EXPECT_TRUE(first.resource_exhausted);
+  EXPECT_TRUE(second.resource_exhausted);
+  // Both executions computed (and failed) afresh: no verdict-cache hit may
+  // serve an exhausted outcome.
+  EXPECT_EQ(engine.stats().verdicts.hits, 0u);
+  EXPECT_EQ(engine.stats().verdicts.misses, 2u);
+}
+
+TEST(Budget, EngineCollectsStageProfilesWithoutLimits) {
+  Rng rng(5);
+  const AlphabetRef sigma = random_alphabet(2);
+  Query query;
+  query.system = serialize_system(random_transition_system(rng, 5, sigma));
+  query.formula = "G F a0";
+  query.kind = CheckKind::kRelativeSafety;
+
+  Engine engine{EngineOptions{}};
+  const Verdict verdict = engine.run_one(query);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_GT(verdict.profile.total_nanos(), 0u);
+  EXPECT_GT(verdict.profile[Stage::kTranslate].calls, 0u);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.stages[Stage::kTranslate].calls,
+            verdict.profile[Stage::kTranslate].calls);
+  // Stage wall-time sum must not exceed the query's wall time by more than
+  // bookkeeping noise (exclusive accounting prevents double counting).
+  EXPECT_LE(static_cast<double>(verdict.profile.total_nanos()) / 1e6,
+            verdict.millis * 1.5 + 1.0);
+}
+
+TEST(Budget, GenerousEngineBudgetMatchesUnbudgetedVerdicts) {
+  Rng rng(41);
+  std::vector<Query> batch;
+  for (int i = 0; i < 12; ++i) {
+    const AlphabetRef sigma = random_alphabet(2);
+    Query q;
+    q.system = serialize_system(random_transition_system(rng, 4, sigma));
+    q.formula = i % 2 ? "G F a0" : "G(a0 -> F a1)";
+    q.kind = i % 3 == 0 ? CheckKind::kRelativeSafety
+                        : CheckKind::kRelativeLiveness;
+    batch.push_back(std::move(q));
+  }
+
+  Engine plain{EngineOptions{}};
+  EngineOptions generous;
+  generous.timeout_ms = 600'000;
+  generous.max_states = 500'000'000;
+  Engine budgeted(generous);
+
+  const std::vector<Verdict> expected = plain.run(batch);
+  const std::vector<Verdict> actual = budgeted.run(batch);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].ok(), actual[i].ok()) << "query " << i;
+    EXPECT_EQ(expected[i].holds, actual[i].holds) << "query " << i;
+    EXPECT_EQ(expected[i].violating_prefix, actual[i].violating_prefix)
+        << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rlv

@@ -327,5 +327,105 @@ TEST(CheckKind, NamesRoundTrip) {
   EXPECT_FALSE(parse_check_kind("bogus").has_value());
 }
 
+TEST(InclusionAlgorithmNames, RoundTrip) {
+  for (const InclusionAlgorithm algorithm :
+       {InclusionAlgorithm::kSubset, InclusionAlgorithm::kAntichain}) {
+    EXPECT_EQ(parse_inclusion_algorithm(inclusion_algorithm_name(algorithm)),
+              algorithm);
+  }
+  EXPECT_FALSE(parse_inclusion_algorithm("bogus").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Verdict cache keying.
+
+TEST(Engine, VerdictCacheDoesNotAliasAcrossInclusionAlgorithms) {
+  // Regression: two queries identical except for InclusionAlgorithm must
+  // not share one cached verdict — subset and antichain may report
+  // different (equally valid) counterexample words, and a key that drops
+  // the algorithm would hand one algorithm's witness to the other.
+  Query subset{serialize_system(figure3_system()), "G F result",
+               CheckKind::kRelativeLiveness};
+  subset.algorithm = InclusionAlgorithm::kSubset;
+  Query antichain = subset;
+  antichain.algorithm = InclusionAlgorithm::kAntichain;
+
+  Engine engine;
+  const Verdict v_subset = engine.run_one(subset);
+  const Verdict v_antichain = engine.run_one(antichain);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.verdicts.misses, 2u);
+  EXPECT_EQ(stats.verdicts.hits, 0u);
+  // Both verdicts agree on the boolean (the algorithms are equivalent).
+  EXPECT_EQ(v_subset.holds, v_antichain.holds);
+
+  // Re-running either query now hits its own entry.
+  (void)engine.run_one(subset);
+  EXPECT_EQ(engine.stats().verdicts.hits, 1u);
+}
+
+TEST(Engine, VerdictCacheDoesNotAliasFormulaAndAutomatonFlavors) {
+  // A formula query and an automaton-flavor query against the same system
+  // key on different fields (interned formula vs property fingerprint);
+  // neither may serve the other's verdict.
+  const std::string system_text = serialize_system(figure2_system());
+  // "infinitely many result" as an automaton over the fig2 alphabet.
+  Buchi property(figure2_system().alphabet());
+  const State wait = property.add_state(false);
+  const State saw = property.add_state(true);
+  property.set_initial(wait);
+  const AlphabetRef sigma = property.alphabet();
+  for (Symbol a = 0; a < sigma->size(); ++a) {
+    const bool is_result = sigma->name(a) == std::string_view("result");
+    property.add_transition(wait, a, is_result ? saw : wait);
+    property.add_transition(saw, a, is_result ? saw : wait);
+  }
+
+  Query formula_query{system_text, "G F result",
+                      CheckKind::kRelativeLiveness};
+  Query automaton_query;
+  automaton_query.system = system_text;
+  automaton_query.kind = CheckKind::kRelativeLiveness;
+  automaton_query.property_automaton = serialize_buchi(property);
+
+  Engine engine;
+  const Verdict from_formula = engine.run_one(formula_query);
+  const Verdict from_automaton = engine.run_one(automaton_query);
+  EXPECT_EQ(engine.stats().verdicts.misses, 2u);
+  EXPECT_EQ(engine.stats().verdicts.hits, 0u);
+  ASSERT_TRUE(from_formula.ok());
+  ASSERT_TRUE(from_automaton.ok());
+  // Both encode "G F result", so the answers agree (rl holds for fig2).
+  EXPECT_TRUE(from_formula.holds);
+  EXPECT_TRUE(from_automaton.holds);
+}
+
+TEST(Engine, AutomatonFlavorRemapsPropertyAlphabetByName) {
+  // The property automaton is parsed against its own alphabet object; the
+  // engine must remap it onto the system's alphabet before intersecting.
+  const std::string system_text = serialize_system(figure2_system());
+  const std::string property_text =
+      "alphabet: result lock free request yes no reject\n"  // permuted order
+      "states: 1\n"
+      "initial: 0\n"
+      "accepting: 0\n"
+      "0 result 0\n"
+      "0 lock 0\n"
+      "0 free 0\n"
+      "0 request 0\n"
+      "0 yes 0\n"
+      "0 no 0\n"
+      "0 reject 0\n";
+  Query query;
+  query.system = system_text;
+  query.kind = CheckKind::kSatisfaction;
+  query.property_automaton = property_text;
+
+  Engine engine;
+  const Verdict verdict = engine.run_one(query);
+  ASSERT_TRUE(verdict.ok()) << verdict.error;
+  EXPECT_TRUE(verdict.holds);  // Σ^ω property: trivially satisfied
+}
+
 }  // namespace
 }  // namespace rlv

@@ -257,5 +257,50 @@ TEST(IoDot, ContainsStructure) {
   EXPECT_NE(dot.find("init -> s0"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// JSON string escaping (used by rlvd result lines).
+
+TEST(IoJson, PassesPlainStringsThrough) {
+  EXPECT_EQ(json_escape(""), "");
+  EXPECT_EQ(json_escape("G F result"), "G F result");
+  EXPECT_EQ(json_escape("fig2.rlv"), "fig2.rlv");
+}
+
+TEST(IoJson, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("C:\\tmp\\x.rlv"), "C:\\\\tmp\\\\x.rlv");
+  EXPECT_EQ(json_escape("\\\""), "\\\\\\\"");
+}
+
+TEST(IoJson, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(json_escape(std::string_view("\0", 1)), "\\u0000");
+}
+
+TEST(IoJson, HostileFileNameAndFormulaStayValidJson) {
+  // A batch line can reference any file name and any formula text; the
+  // result line must remain one well-formed JSON object.
+  const std::string name = "evil\",\"holds\":true,\"x\":\"\n.rlv";
+  const std::string formula = "G \"F\"\tresult \\ U";
+  const std::string escaped_name = json_escape(name);
+  const std::string escaped_formula = json_escape(formula);
+  for (const std::string& s : {escaped_name, escaped_formula}) {
+    EXPECT_EQ(s.find('\n'), std::string::npos);
+    EXPECT_EQ(s.find('\t'), std::string::npos);
+    // Every '"' is preceded by an odd run of backslashes (i.e. escaped).
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '"') continue;
+      std::size_t backslashes = 0;
+      for (std::size_t j = i; j-- > 0 && s[j] == '\\';) ++backslashes;
+      EXPECT_EQ(backslashes % 2, 1u) << s << " at " << i;
+    }
+  }
+  EXPECT_EQ(escaped_name,
+            "evil\\\",\\\"holds\\\":true,\\\"x\\\":\\\"\\n.rlv");
+}
+
 }  // namespace
 }  // namespace rlv

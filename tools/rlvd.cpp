@@ -5,31 +5,43 @@
 // engine, and emits exactly one JSON object per query, in input order, on
 // stdout. Request lines:
 //
-//   <system-file> [--check rl|rs|sat|fair|fairweak] <formula...>
+//   <system-file> [--check rl|rs|sat|fair|fairweak]
+//                 [--algorithm subset|antichain]
+//                 [--property-aut <buchi-file>] [<formula...>]
 //
-// Everything after the system path (and the optional --check flag) is the
-// PLTL formula; '#' starts a comment and blank lines are skipped. System
-// paths are resolved relative to the batch file's directory (relative to
-// the working directory when reading stdin).
+// Everything after the system path and the optional flags is the PLTL
+// formula; with --property-aut the property is a Büchi automaton file
+// instead and the formula must be absent. '#' starts a comment and blank
+// lines are skipped. System and property paths are resolved relative to
+// the batch file's directory (relative to the working directory when
+// reading stdin).
 //
 // Result lines (one per query):
 //
 //   {"id":0,"system":"fig2.rlv","check":"rl","formula":"G F result",
 //    "ok":true,"holds":true,"witness":"...","ms":0.42,
+//    "stages":{"parse":0.01,"translate":0.2,...},
 //    "cache":{"hits":12,"misses":4,"evictions":0}}
 //
-// "cache" is the engine-wide cumulative counter snapshot (hits + misses +
-// evictions summed over all five caches) at the time the result line is
-// emitted. A summary line with the full per-cache EngineStats breakdown
-// goes to stderr.
+// A query that hits the --timeout-ms / --max-states budget reports
+// "ok":false,"resource_exhausted":true,"stage":"<tripping stage>" — its
+// siblings are unaffected. "stages" maps each pipeline stage that ran to
+// its exclusive milliseconds. "cache" is the engine-wide cumulative counter
+// snapshot (hits + misses + evictions summed over all caches) at the time
+// the result line is emitted. A summary line with the full per-cache
+// EngineStats breakdown goes to stderr.
 //
 // Options:
-//   --jobs N     worker threads (default 1: sequential)
-//   --cache N    per-cache capacity in entries (default 256)
+//   --jobs N        worker threads (default 1: sequential)
+//   --cache N       per-cache capacity in entries (default 256)
+//   --timeout-ms N  per-query wall-clock budget (default 0: unlimited)
+//   --max-states N  per-query constructed-state budget (default 0)
+//   --metrics       emit an end-of-batch JSON metrics summary on stdout
 //
 // Exit status: 0 = every line executed (whatever the verdicts), 2 = bad
 // invocation, unreadable batch file, or a malformed request line.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -46,51 +58,26 @@ namespace {
 using namespace rlv;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: rlvd [<batch-file>|-] [--jobs N] [--cache N]\n"
-               "  batch line: <system-file> [--check rl|rs|sat|fair|fairweak]"
-               " <formula...>\n");
+  std::fprintf(
+      stderr,
+      "usage: rlvd [<batch-file>|-] [--jobs N] [--cache N] [--timeout-ms N]"
+      " [--max-states N] [--metrics]\n"
+      "  batch line: <system-file> [--check rl|rs|sat|fair|fairweak]"
+      " [--algorithm subset|antichain] [--property-aut <file>]"
+      " [<formula...>]\n");
   return 2;
 }
 
-/// JSON string escaping (control characters, quotes, backslashes).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 struct Request {
-  std::string system_path;  // as written in the batch file
+  std::string system_path;    // as written in the batch file
+  std::string property_path;  // with --property-aut
   Query query;
 };
+
+std::string resolve(const std::string& path, const std::string& base_dir) {
+  if (!base_dir.empty() && path[0] != '/') return base_dir + "/" + path;
+  return path;
+}
 
 /// Splits one request line; returns nullopt for blanks/comments, throws
 /// std::runtime_error on malformed lines.
@@ -108,28 +95,62 @@ std::optional<Request> parse_request_line(const std::string& line,
   Request request;
   request.system_path = tokens[0];
   std::size_t i = 1;
-  if (i + 1 < tokens.size() && tokens[i] == "--check") {
-    const auto kind = parse_check_kind(tokens[i + 1]);
-    if (!kind) {
-      throw std::runtime_error("unknown check kind '" + tokens[i + 1] + "'");
+  while (i < tokens.size()) {
+    if (i + 1 < tokens.size() && tokens[i] == "--check") {
+      const auto kind = parse_check_kind(tokens[i + 1]);
+      if (!kind) {
+        throw std::runtime_error("unknown check kind '" + tokens[i + 1] + "'");
+      }
+      request.query.kind = *kind;
+      i += 2;
+    } else if (i + 1 < tokens.size() && tokens[i] == "--algorithm") {
+      const auto algorithm = parse_inclusion_algorithm(tokens[i + 1]);
+      if (!algorithm) {
+        throw std::runtime_error("unknown inclusion algorithm '" +
+                                 tokens[i + 1] + "'");
+      }
+      request.query.algorithm = *algorithm;
+      i += 2;
+    } else if (i + 1 < tokens.size() && tokens[i] == "--property-aut") {
+      request.property_path = tokens[i + 1];
+      i += 2;
+    } else {
+      break;
     }
-    request.query.kind = *kind;
-    i += 2;
-  }
-  if (i >= tokens.size()) {
-    throw std::runtime_error("missing formula");
   }
   std::string formula;
   for (; i < tokens.size(); ++i) {
     if (!formula.empty()) formula += ' ';
     formula += tokens[i];
   }
+  if (request.property_path.empty()) {
+    if (formula.empty()) throw std::runtime_error("missing formula");
+  } else {
+    if (!formula.empty()) {
+      throw std::runtime_error(
+          "formula and --property-aut are mutually exclusive");
+    }
+    request.query.property_automaton =
+        read_file(resolve(request.property_path, base_dir));
+  }
   request.query.formula = std::move(formula);
-
-  std::string path = request.system_path;
-  if (!base_dir.empty() && path[0] != '/') path = base_dir + "/" + path;
-  request.query.system = read_file(path);
+  request.query.system = read_file(resolve(request.system_path, base_dir));
   return request;
+}
+
+/// {"parse":0.01,...} — exclusive milliseconds of every stage that ran.
+void print_stages(std::ostream& out, const QueryProfile& profile) {
+  out << '{';
+  bool first = true;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const StageMetrics& m = profile.stages[i];
+    if (m.calls == 0 && m.nanos == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << stage_name(static_cast<Stage>(i))
+        << "\":" << static_cast<double>(m.nanos) / 1e6;
+  }
+  out << '}';
 }
 
 void print_counters(std::ostream& out, const char* name,
@@ -145,6 +166,7 @@ int main(int argc, char** argv) {
   std::string batch_path = "-";
   EngineOptions options;
   bool have_path = false;
+  bool metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -154,6 +176,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache" && i + 1 < argc) {
       options.cache_capacity = static_cast<std::size_t>(std::atoi(argv[++i]));
       if (options.cache_capacity == 0) return usage();
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      options.timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-states" && i + 1 < argc) {
+      options.max_states =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (!have_path) {
       batch_path = arg;
       have_path = true;
@@ -189,11 +219,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  const auto batch_start = std::chrono::steady_clock::now();
   Engine engine(options);
   std::vector<Query> queries;
   queries.reserve(requests.size());
   for (const Request& r : requests) queries.push_back(r.query);
   const std::vector<Verdict> verdicts = engine.run(queries);
+  const double batch_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - batch_start)
+                              .count();
 
   for (std::size_t i = 0; i < verdicts.size(); ++i) {
     const Request& request = requests[i];
@@ -202,9 +236,13 @@ int main(int argc, char** argv) {
     std::ostringstream out;
     out << "{\"id\":" << i << ",\"system\":\""
         << json_escape(request.system_path) << "\",\"check\":\""
-        << check_kind_name(request.query.kind) << "\",\"formula\":\""
-        << json_escape(request.query.formula) << "\",\"ok\":"
-        << (v.ok() ? "true" : "false");
+        << check_kind_name(request.query.kind) << '"';
+    if (!request.property_path.empty()) {
+      out << ",\"property\":\"" << json_escape(request.property_path) << '"';
+    } else {
+      out << ",\"formula\":\"" << json_escape(request.query.formula) << '"';
+    }
+    out << ",\"ok\":" << (v.ok() ? "true" : "false");
     if (v.ok()) {
       out << ",\"holds\":" << (v.holds ? "true" : "false");
       // Witness symbols are ids over the system's alphabet; reparse the
@@ -224,16 +262,46 @@ int main(int argc, char** argv) {
                    ")^w")
             << '"';
       }
+    } else if (v.resource_exhausted) {
+      out << ",\"resource_exhausted\":true,\"stage\":\""
+          << json_escape(v.exhausted_stage) << '"';
     } else {
       out << ",\"error\":\"" << json_escape(v.error) << '"';
     }
-    out << ",\"ms\":" << v.millis << ",\"cache\":{";
+    out << ",\"ms\":" << v.millis << ",\"stages\":";
+    print_stages(out, v.profile);
+    out << ",\"cache\":{";
     out << "\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
         << ",\"evictions\":" << cache.evictions << "}}";
     std::puts(out.str().c_str());
   }
 
   const EngineStats stats = engine.stats();
+
+  if (metrics) {
+    // End-of-batch machine-readable summary: per-stage totals (exclusive ms,
+    // calls, states, frontier peaks) plus batch wall time, on stdout so it
+    // rides the same pipe as the results.
+    std::ostringstream m;
+    m << "{\"metrics\":{\"queries\":" << stats.queries_run
+      << ",\"wall_ms\":" << batch_ms << ",\"stage_ms\":";
+    print_stages(m, stats.stages);
+    m << ",\"stage_detail\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+      const StageMetrics& sm = stats.stages.stages[i];
+      if (sm.calls == 0 && sm.nanos == 0) continue;
+      if (!first) m << ',';
+      first = false;
+      m << '"' << stage_name(static_cast<Stage>(i))
+        << "\":{\"calls\":" << sm.calls << ",\"states\":" << sm.states_built
+        << ",\"peak_frontier\":" << sm.peak_antichain
+        << ",\"ms\":" << static_cast<double>(sm.nanos) / 1e6 << '}';
+    }
+    m << "}}}";
+    std::puts(m.str().c_str());
+  }
+
   std::ostringstream summary;
   summary << "{\"queries\":" << stats.queries_run << ',';
   print_counters(summary, "systems", stats.systems);
@@ -243,6 +311,8 @@ int main(int argc, char** argv) {
   print_counters(summary, "prefixes", stats.prefixes);
   summary << ',';
   print_counters(summary, "translations", stats.translations);
+  summary << ',';
+  print_counters(summary, "properties", stats.properties);
   summary << ',';
   print_counters(summary, "verdicts", stats.verdicts);
   summary << '}';
