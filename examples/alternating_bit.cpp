@@ -30,7 +30,7 @@ int main() {
   std::printf("property: %s\n\n", goal.to_string().c_str());
 
   std::printf("satisfied outright:          %s\n",
-              satisfies(behaviors, goal, lambda) ? "yes" : "no");
+              satisfies(behaviors, goal, lambda).holds ? "yes" : "no");
   std::printf("relative liveness property:  %s\n",
               relative_liveness(behaviors, goal, lambda).holds ? "yes" : "no");
   const auto fair = check_fair_satisfaction(behaviors, goal, lambda);

@@ -26,13 +26,13 @@ int main() {
   const Formula mutex = parse_ltl(
       "G(enter_0 -> X((!enter_1 U exit_0) || G !enter_1))");
   std::printf("mutual exclusion   %-42s : %s\n", mutex.to_string().c_str(),
-              satisfies(behaviors, mutex, lambda) ? "satisfied outright"
+              satisfies(behaviors, mutex, lambda).holds ? "satisfied outright"
                                                   : "VIOLATED");
 
   const Formula starvation = parse_ltl("G(req_0 -> F enter_0)");
   std::printf("starvation freedom %-42s :\n", starvation.to_string().c_str());
   std::printf("  satisfied outright:         %s\n",
-              satisfies(behaviors, starvation, lambda) ? "yes" : "no");
+              satisfies(behaviors, starvation, lambda).holds ? "yes" : "no");
   const auto rl = relative_liveness(behaviors, starvation, lambda);
   std::printf("  relative liveness property: %s\n", rl.holds ? "yes" : "no");
   const auto fair = check_fair_satisfaction(behaviors, starvation, lambda);

@@ -34,7 +34,7 @@ int main() {
 
   // 1. Classical satisfaction fails: the lock/(request no reject)^ω
   //    behavior never produces a result.
-  const bool sat = satisfies(behaviors, property, lambda);
+  const bool sat = satisfies(behaviors, property, lambda).holds;
   std::printf("classically satisfied:      %s\n", sat ? "yes" : "no");
 
   // 2. But it is a relative liveness property: every prefix extends to a

@@ -14,12 +14,13 @@ namespace {
 RelativeLivenessResult liveness_via_intersection(const Buchi& system,
                                                  const Buchi& intersection,
                                                  InclusionAlgorithm algorithm,
-                                                 Budget* budget) {
+                                                 Budget* budget,
+                                                 std::size_t threads) {
   // Lemma 4.3: pre(L_ω) ⊆ pre(L_ω ∩ P); the reverse inclusion is automatic.
   const Nfa pre_system = prefix_nfa(system);
   const Nfa pre_both = prefix_nfa(intersection);
   const InclusionResult inc =
-      check_inclusion(pre_system, pre_both, algorithm, budget);
+      check_inclusion(pre_system, pre_both, algorithm, budget, threads);
   RelativeLivenessResult result;
   result.holds = inc.included;
   result.violating_prefix = inc.counterexample;
@@ -30,12 +31,14 @@ RelativeSafetyResult safety_via_negation(const Buchi& system,
                                          const Buchi& intersection,
                                          const Buchi& negated_property,
                                          Budget* budget) {
-  // Lemma 4.4: L_ω ∩ lim(pre(L_ω ∩ P)) ∩ ¬P = ∅.
+  // Lemma 4.4: L_ω ∩ lim(pre(L_ω ∩ P)) ∩ ¬P = ∅, decided on the fly — the
+  // triple product is explored lazily by the nested DFS instead of being
+  // materialized, so a counterexample (or its absence) is often established
+  // after touching a fraction of the product.
   const Buchi closure = limit_of_prefix_closed(prefix_nfa(intersection));
-  const Buchi bad = intersect_buchi(intersect_buchi(system, closure, budget),
-                                    negated_property, budget);
   RelativeSafetyResult result;
-  auto lasso = find_accepting_lasso(bad, budget);
+  auto lasso = find_accepting_lasso_product(
+      {&system, &closure, &negated_property}, budget);
   result.holds = !lasso.has_value();
   result.counterexample = std::move(lasso);
   return result;
@@ -46,10 +49,12 @@ RelativeSafetyResult safety_via_negation(const Buchi& system,
 RelativeLivenessResult relative_liveness(const Buchi& system,
                                          const Buchi& property,
                                          InclusionAlgorithm algorithm,
-                                         Budget* budget) {
+                                         Budget* budget,
+                                         std::size_t inclusion_threads) {
   try {
     return liveness_via_intersection(
-        system, intersect_buchi(system, property, budget), algorithm, budget);
+        system, intersect_buchi(system, property, budget), algorithm, budget,
+        inclusion_threads);
   } catch (const ResourceExhausted& e) {
     RelativeLivenessResult result;
     result.exhausted = e.stage();
@@ -60,11 +65,13 @@ RelativeLivenessResult relative_liveness(const Buchi& system,
 RelativeLivenessResult relative_liveness(const Buchi& system, Formula f,
                                          const Labeling& lambda,
                                          InclusionAlgorithm algorithm,
-                                         Budget* budget) {
+                                         Budget* budget,
+                                         std::size_t inclusion_threads) {
   try {
     const Buchi property = translate_ltl(f, lambda, budget);
     return liveness_via_intersection(
-        system, intersect_buchi(system, property, budget), algorithm, budget);
+        system, intersect_buchi(system, property, budget), algorithm, budget,
+        inclusion_threads);
   } catch (const ResourceExhausted& e) {
     RelativeLivenessResult result;
     result.exhausted = e.stage();
@@ -99,18 +106,28 @@ RelativeSafetyResult relative_safety(const Buchi& system, Formula f,
   }
 }
 
-bool satisfies(const Buchi& system, const Buchi& property, Budget* budget) {
-  return buchi_empty(
-      intersect_buchi(system, complement_buchi(property, budget), budget),
-      EmptinessAlgorithm::kScc, budget);
+SatisfactionResult satisfies(const Buchi& system, const Buchi& property,
+                             Budget* budget) {
+  SatisfactionResult result;
+  try {
+    const Buchi complement = complement_buchi(property, budget);
+    result.holds = product_empty({&system, &complement}, budget);
+  } catch (const ResourceExhausted& e) {
+    result.exhausted = e.stage();
+  }
+  return result;
 }
 
-bool satisfies(const Buchi& system, Formula f, const Labeling& lambda,
-               Budget* budget) {
-  return buchi_empty(
-      intersect_buchi(system, translate_ltl_negated(f, lambda, budget),
-                      budget),
-      EmptinessAlgorithm::kScc, budget);
+SatisfactionResult satisfies(const Buchi& system, Formula f,
+                             const Labeling& lambda, Budget* budget) {
+  SatisfactionResult result;
+  try {
+    const Buchi negated = translate_ltl_negated(f, lambda, budget);
+    result.holds = product_empty({&system, &negated}, budget);
+  } catch (const ResourceExhausted& e) {
+    result.exhausted = e.stage();
+  }
+  return result;
 }
 
 }  // namespace rlv

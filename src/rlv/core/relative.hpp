@@ -16,11 +16,18 @@
 // decomposition (satisfaction ⟺ relative liveness ∧ relative safety).
 //
 // All entry points take an optional Budget. When the budget trips inside a
-// kernel, the relative_* functions catch the ResourceExhausted and return a
-// result with `exhausted` set to the tripping stage and `holds` left false —
-// a result with `exhausted` engaged carries NO verdict and must not be read
-// as a boolean answer. `satisfies` (a bare bool) lets ResourceExhausted
-// propagate instead.
+// kernel, every entry point — including satisfies() — catches the
+// ResourceExhausted and returns a result with `exhausted` set to the
+// tripping stage and `holds` left false. A result with `exhausted` engaged
+// carries NO verdict and must not be read as a boolean answer.
+//
+// The safety and satisfaction checks explore their Büchi products on the
+// fly (find_accepting_lasso_product / product_empty), so they only pay for
+// the product states the nested DFS actually visits. The liveness check
+// accepts an `inclusion_threads` knob that runs the underlying NFA
+// inclusion with the sharded parallel search (see lang/inclusion.hpp for
+// the determinism contract: identical verdicts, revalidate-don't-compare
+// counterexamples).
 
 #include <optional>
 
@@ -50,16 +57,17 @@ struct RelativeSafetyResult {
 };
 
 /// Is L_ω(property) a relative liveness property of L_ω(system)? (Def 4.1)
+/// `inclusion_threads > 1` parallelizes the inclusion search.
 [[nodiscard]] RelativeLivenessResult relative_liveness(
     const Buchi& system, const Buchi& property,
     InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain,
-    Budget* budget = nullptr);
+    Budget* budget = nullptr, std::size_t inclusion_threads = 1);
 
 /// Formula flavor: the property is { x | x,λ ⊨ f }.
 [[nodiscard]] RelativeLivenessResult relative_liveness(
     const Buchi& system, Formula f, const Labeling& lambda,
     InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain,
-    Budget* budget = nullptr);
+    Budget* budget = nullptr, std::size_t inclusion_threads = 1);
 
 /// Is L_ω(property) a relative safety property of L_ω(system)? (Def 4.2)
 /// The automaton flavor complements `property` with the rank-based
@@ -74,12 +82,20 @@ struct RelativeSafetyResult {
                                                    const Labeling& lambda,
                                                    Budget* budget = nullptr);
 
-/// Classical satisfaction L_ω(system) ⊆ P (Definition 3.2). Unlike the
-/// relative_* functions this throws ResourceExhausted when `budget` trips
-/// (there is no result struct to carry the stage).
-[[nodiscard]] bool satisfies(const Buchi& system, const Buchi& property,
-                             Budget* budget = nullptr);
-[[nodiscard]] bool satisfies(const Buchi& system, Formula f,
-                             const Labeling& lambda, Budget* budget = nullptr);
+struct SatisfactionResult {
+  bool holds = false;
+  /// Set when the budget tripped; `holds` is then meaningless.
+  std::optional<Stage> exhausted;
+};
+
+/// Classical satisfaction L_ω(system) ⊆ P (Definition 3.2), decided as
+/// on-the-fly emptiness of L_ω(system) ∩ ¬P. Like the relative_* functions,
+/// a budget trip is reported through `exhausted`, never thrown.
+[[nodiscard]] SatisfactionResult satisfies(const Buchi& system,
+                                           const Buchi& property,
+                                           Budget* budget = nullptr);
+[[nodiscard]] SatisfactionResult satisfies(const Buchi& system, Formula f,
+                                           const Labeling& lambda,
+                                           Budget* budget = nullptr);
 
 }  // namespace rlv

@@ -1,5 +1,6 @@
 #include "rlv/engine/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -220,6 +221,11 @@ struct Engine::Impl {
       return translation(*f, lambda, /*negated=*/true, budget);
     };
 
+    // Per-query override of the engine-wide intra-query thread count.
+    const std::size_t threads =
+        query.threads > 0 ? query.threads
+                          : std::max<std::size_t>(1, options.intra_query_threads);
+
     Verdict verdict;
     switch (query.kind) {
       case CheckKind::kRelativeLiveness: {
@@ -236,14 +242,16 @@ struct Engine::Impl {
               StageScope scope(budget, Stage::kPreTrim);
               return prefix_nfa(*behaviors_aut);
             });
-        const InclusionResult inc =
-            check_inclusion(*pre_system, pre_both, query.algorithm, budget);
+        const InclusionResult inc = check_inclusion(
+            *pre_system, pre_both, query.algorithm, budget, threads);
         verdict.holds = inc.included;
         verdict.violating_prefix = inc.counterexample;
         break;
       }
       case CheckKind::kRelativeSafety: {
-        // Lemma 4.4: L_ω ∩ lim(pre(L_ω ∩ P)) ∩ ¬P = ∅.
+        // Lemma 4.4: L_ω ∩ lim(pre(L_ω ∩ P)) ∩ ¬P = ∅, explored on the fly —
+        // the triple product is never materialized, so the query pays only
+        // for the states the nested DFS visits.
         const auto property_aut = positive();
         const auto negated_aut = negated();
         const Buchi intersection =
@@ -252,10 +260,8 @@ struct Engine::Impl {
           StageScope scope(budget, Stage::kPreTrim);
           return limit_of_prefix_closed(prefix_nfa(intersection));
         }();
-        const Buchi bad = intersect_buchi(
-            intersect_buchi(*behaviors_aut, closure, budget), *negated_aut,
-            budget);
-        auto lasso = find_accepting_lasso(bad, budget);
+        auto lasso = find_accepting_lasso_product(
+            {behaviors_aut.get(), &closure, negated_aut.get()}, budget);
         verdict.holds = !lasso.has_value();
         verdict.counterexample = std::move(lasso);
         break;
@@ -263,8 +269,7 @@ struct Engine::Impl {
       case CheckKind::kSatisfaction: {
         const auto negated_aut = negated();
         verdict.holds =
-            buchi_empty(intersect_buchi(*behaviors_aut, *negated_aut, budget),
-                        EmptinessAlgorithm::kScc, budget);
+            product_empty({behaviors_aut.get(), negated_aut.get()}, budget);
         break;
       }
       case CheckKind::kFairStrong:

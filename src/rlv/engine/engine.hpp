@@ -24,6 +24,16 @@
 // verdicts bit-identical to sequential execution regardless of the worker
 // count or the interleaving — the property test_engine.cpp pins down.
 //
+// Intra-query parallelism (intra_query_threads / Query::threads) runs the
+// Lemma 4.3 inclusion search itself on multiple threads. The boolean
+// verdict is unaffected, but a violating prefix found by the parallel
+// search depends on the interleaving (still a genuine counterexample —
+// revalidate, don't byte-compare), so the bit-identical guarantee above
+// holds only at the default of one intra-query thread. The knob is
+// deliberately NOT part of the verdict cache key: all thread counts
+// compute the same verdict, and whichever counterexample was cached first
+// is as valid as any other.
+//
 // Real verification workloads are many properties against few systems;
 // the caches turn that shape into one parse, one limit construction, one
 // pre(L_ω) trim per system, and one translation per formula polarity.
@@ -48,6 +58,12 @@ struct EngineOptions {
   /// Per-query cap on constructed states/configurations across all stages;
   /// 0 = unlimited.
   std::uint64_t max_states = 0;
+  /// Default worker-thread count for the parallel inclusion search *inside*
+  /// a single query; 0 or 1 = sequential. Overridable per query via
+  /// Query::threads. Independent of `jobs`: the kernels spawn their own
+  /// short-lived threads rather than borrowing the engine pool, so nested
+  /// waiting cannot deadlock the batch.
+  std::size_t intra_query_threads = 1;
 };
 
 class Engine {

@@ -56,6 +56,11 @@ struct Query {
   /// Algorithm for the Lemma 4.3 prefix-inclusion check. Part of the
   /// verdict cache key: queries differing only here never alias.
   InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain;
+  /// Worker threads for the parallel inclusion search inside this query;
+  /// 0 = use EngineOptions::intra_query_threads. NOT part of the verdict
+  /// cache key — every thread count computes the same verdict (see
+  /// engine.hpp on counterexample canonicality).
+  std::size_t threads = 0;
 };
 
 struct Verdict {

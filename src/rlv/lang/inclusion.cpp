@@ -1,9 +1,18 @@
 #include "rlv/lang/inclusion.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <cassert>
 #include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <thread>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "rlv/util/hash.hpp"
@@ -12,24 +21,53 @@ namespace rlv {
 
 namespace {
 
+/// Reverse-linked witness path through the explored configuration graph.
+/// Siblings share their parent's tail, so total witness memory is one small
+/// node per explored configuration — the previous representation copied the
+/// full word into every queued configuration, which is O(frontier × depth)
+/// and dominated peak memory on deep-counterexample instances.
+struct PathNode {
+  Symbol symbol;
+  std::shared_ptr<const PathNode> parent;
+};
+
+using PathPtr = std::shared_ptr<const PathNode>;
+
+PathPtr extend(const PathPtr& parent, Symbol symbol) {
+  return std::make_shared<const PathNode>(PathNode{symbol, parent});
+}
+
+Word backtrace(const PathPtr& tip) {
+  Word w;
+  for (const PathNode* n = tip.get(); n != nullptr; n = n->parent.get()) {
+    w.push_back(n->symbol);
+  }
+  std::reverse(w.begin(), w.end());
+  return w;
+}
+
 /// Explored configuration: a left-hand NFA state paired with the subset of
 /// right-hand states compatible with the word read so far.
 struct Config {
   State left;
   DynBitset right;
-  Word word;  // witness word leading here (kept small: BFS order)
+  PathPtr path;  // witness word leading here, shared with siblings
 };
 
-InclusionResult subset_inclusion(const Nfa& a, const Nfa& b, Budget* budget) {
-  const std::size_t nb = b.num_states();
-  DynBitset b_init(nb);
-  for (const State s : b.initial()) b_init.set(s);
+bool bitset_accepts(const Nfa& b, const DynBitset& set) {
+  bool acc = false;
+  set.for_each([&](std::size_t s) { acc = acc || b.is_accepting(s); });
+  return acc;
+}
 
-  auto b_accepts_now = [&](const DynBitset& set) {
-    bool acc = false;
-    set.for_each([&](std::size_t s) { acc = acc || b.is_accepting(s); });
-    return acc;
-  };
+DynBitset initial_set(const Nfa& b) {
+  DynBitset init(b.num_states());
+  for (const State s : b.initial()) init.set(s);
+  return init;
+}
+
+InclusionResult subset_inclusion(const Nfa& a, const Nfa& b, Budget* budget) {
+  const DynBitset b_init = initial_set(b);
 
   std::unordered_map<State, std::vector<DynBitset>> seen;
   std::size_t seen_total = 0;
@@ -51,21 +89,20 @@ InclusionResult subset_inclusion(const Nfa& a, const Nfa& b, Budget* budget) {
   for (const State s : a.initial()) {
     if (already_seen(s, b_init)) continue;
     record(s, b_init);
-    queue.push_back({s, b_init, {}});
+    queue.push_back({s, b_init, nullptr});
   }
   while (!queue.empty()) {
     Config cfg = std::move(queue.front());
     queue.pop_front();
-    if (a.is_accepting(cfg.left) && !b_accepts_now(cfg.right)) {
-      return {false, cfg.word};
+    if (a.is_accepting(cfg.left) && !bitset_accepts(b, cfg.right)) {
+      return {false, backtrace(cfg.path)};
     }
     for (const auto& t : a.out(cfg.left)) {
       DynBitset next_right = b.step(cfg.right, t.symbol);
       if (already_seen(t.target, next_right)) continue;
       record(t.target, next_right);
-      Word w = cfg.word;
-      w.push_back(t.symbol);
-      queue.push_back({t.target, std::move(next_right), std::move(w)});
+      queue.push_back(
+          {t.target, std::move(next_right), extend(cfg.path, t.symbol)});
     }
   }
   return {true, std::nullopt};
@@ -76,19 +113,22 @@ InclusionResult subset_inclusion(const Nfa& a, const Nfa& b, Budget* budget) {
 /// (p, S') (a smaller right-hand set rejects more words).
 InclusionResult antichain_inclusion(const Nfa& a, const Nfa& b,
                                     Budget* budget) {
-  const std::size_t nb = b.num_states();
-  DynBitset b_init(nb);
-  for (const State s : b.initial()) b_init.set(s);
-
-  auto b_accepts_now = [&](const DynBitset& set) {
-    bool acc = false;
-    set.for_each([&](std::size_t s) { acc = acc || b.is_accepting(s); });
-    return acc;
-  };
+  const DynBitset b_init = initial_set(b);
 
   // Antichain of ⊆-minimal right-hand sets, per left-hand state.
   std::unordered_map<State, std::vector<DynBitset>> antichain;
   std::size_t antichain_total = 0;
+
+#ifndef NDEBUG
+  // Frontier-accounting audit: the running counter must equal the true
+  // total antichain size after every mutation (no underflow or drift when
+  // one insertion subsumes several existing elements).
+  auto debug_recount = [&] {
+    std::size_t total = 0;
+    for (const auto& [left, chain] : antichain) total += chain.size();
+    return total;
+  };
+#endif
 
   // Returns false when (left, right) is subsumed by an existing element;
   // otherwise inserts it and removes elements it subsumes.
@@ -100,40 +140,232 @@ InclusionResult antichain_inclusion(const Nfa& a, const Nfa& b,
     const std::size_t before = chain.size();
     std::erase_if(chain,
                   [&](const DynBitset& e) { return right.is_subset_of(e); });
-    antichain_total -= before - chain.size();
+    const std::size_t erased = before - chain.size();
+    assert(erased <= antichain_total);
+    antichain_total -= erased;
     chain.push_back(right);
     budget_charge(budget);
     budget_note_frontier(budget, ++antichain_total);
+    assert(antichain_total == debug_recount());
     return true;
   };
 
   std::deque<Config> queue;
   for (const State s : a.initial()) {
-    if (insert(s, b_init)) queue.push_back({s, b_init, {}});
+    if (insert(s, b_init)) queue.push_back({s, b_init, nullptr});
   }
   while (!queue.empty()) {
     Config cfg = std::move(queue.front());
     queue.pop_front();
-    if (a.is_accepting(cfg.left) && !b_accepts_now(cfg.right)) {
-      return {false, cfg.word};
+    if (a.is_accepting(cfg.left) && !bitset_accepts(b, cfg.right)) {
+      return {false, backtrace(cfg.path)};
     }
     for (const auto& t : a.out(cfg.left)) {
       DynBitset next_right = b.step(cfg.right, t.symbol);
       if (!insert(t.target, next_right)) continue;
-      Word w = cfg.word;
-      w.push_back(t.symbol);
-      queue.push_back({t.target, std::move(next_right), std::move(w)});
+      queue.push_back(
+          {t.target, std::move(next_right), extend(cfg.path, t.symbol)});
     }
   }
   return {true, std::nullopt};
 }
 
+// ---------------------------------------------------------------------------
+// Parallel search.
+//
+// Sharded work-stealing frontier exploration. Every worker owns a deque of
+// configurations; it pops from the front of its own deque and steals from
+// the back of a sibling's when drained. The visited/antichain store is a
+// dense per-left-state vector of right-hand sets guarded by striped
+// reader-writer locks: a subsumption probe first scans under the shared
+// side (the common case — most successors are subsumed), and only an
+// insertion re-checks and mutates under the exclusive side.
+//
+// The boolean verdict is order-independent: the search is exhaustive up to
+// subsumption, and subsumption never removes the last witness of a
+// counterexample (the subsuming element reaches every counterexample the
+// subsumed one did). Counterexample *words* depend on the interleaving and
+// are validated, not compared, by the differential tests.
+
+constexpr std::size_t kLockStripes = 64;
+
+class ParallelInclusion {
+ public:
+  ParallelInclusion(const Nfa& a, const Nfa& b, bool use_antichain,
+                    std::size_t threads, Budget* budget)
+      : a_(a),
+        b_(b),
+        use_antichain_(use_antichain),
+        budget_(budget),
+        store_(a.num_states()),
+        queues_(threads) {}
+
+  InclusionResult run() {
+    const DynBitset b_init = initial_set(b_);
+    std::size_t next_queue = 0;
+    for (const State s : a_.initial()) {
+      if (!insert(s, b_init)) continue;
+      pending_.fetch_add(1, std::memory_order_relaxed);
+      push(next_queue++ % queues_.size(), Config{s, b_init, nullptr});
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(queues_.size() - 1);
+    for (std::size_t id = 1; id < queues_.size(); ++id) {
+      workers.emplace_back([this, id] { worker(id); });
+    }
+    worker(0);
+    for (std::thread& t : workers) t.join();
+
+    if (failure_) std::rethrow_exception(failure_);
+    if (counterexample_) return {false, std::move(counterexample_)};
+    return {true, std::nullopt};
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Config> configs;
+  };
+
+  void push(std::size_t id, Config cfg) {
+    std::lock_guard lock(queues_[id].mutex);
+    queues_[id].configs.push_back(std::move(cfg));
+  }
+
+  std::optional<Config> pop(std::size_t id) {
+    {
+      std::lock_guard lock(queues_[id].mutex);
+      auto& q = queues_[id].configs;
+      if (!q.empty()) {
+        Config cfg = std::move(q.front());
+        q.pop_front();
+        return cfg;
+      }
+    }
+    // Steal from the back of a sibling, starting after our own slot so
+    // thieves spread out instead of hammering worker 0.
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+      WorkerQueue& victim = queues_[(id + i) % queues_.size()];
+      std::lock_guard lock(victim.mutex);
+      if (!victim.configs.empty()) {
+        Config cfg = std::move(victim.configs.back());
+        victim.configs.pop_back();
+        return cfg;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Subsumption-or-visited filter and insertion; see class comment for the
+  /// locking protocol. Returns true when the configuration is new and must
+  /// be explored.
+  bool insert(State left, const DynBitset& right) {
+    std::shared_mutex& lock = locks_[left % kLockStripes];
+    {
+      std::shared_lock read(lock);
+      if (covered(store_[left], right)) return false;
+    }
+    std::unique_lock write(lock);
+    std::vector<DynBitset>& chain = store_[left];
+    if (covered(chain, right)) return false;  // raced with another insert
+    if (use_antichain_) {
+      const std::size_t before = chain.size();
+      std::erase_if(chain,
+                    [&](const DynBitset& e) { return right.is_subset_of(e); });
+      const std::size_t erased = before - chain.size();
+      if (erased > 0) total_.fetch_sub(erased, std::memory_order_relaxed);
+    }
+    chain.push_back(right);
+    budget_charge(budget_);  // may throw with `write` held; RAII unlocks
+    budget_note_frontier(budget_,
+                         total_.fetch_add(1, std::memory_order_relaxed) + 1);
+    return true;
+  }
+
+  bool covered(const std::vector<DynBitset>& chain,
+               const DynBitset& right) const {
+    if (use_antichain_) {
+      for (const DynBitset& e : chain) {
+        if (e.is_subset_of(right)) return true;
+      }
+      return false;
+    }
+    return std::find(chain.begin(), chain.end(), right) != chain.end();
+  }
+
+  void process(std::size_t id, Config cfg) {
+    if (a_.is_accepting(cfg.left) && !bitset_accepts(b_, cfg.right)) {
+      std::lock_guard lock(result_mutex_);
+      if (!counterexample_) counterexample_ = backtrace(cfg.path);
+      done_.store(true, std::memory_order_release);
+      return;
+    }
+    for (const auto& t : a_.out(cfg.left)) {
+      if (done_.load(std::memory_order_relaxed)) return;
+      DynBitset next_right = b_.step(cfg.right, t.symbol);
+      if (!insert(t.target, next_right)) continue;
+      pending_.fetch_add(1, std::memory_order_relaxed);
+      push(id, Config{t.target, std::move(next_right),
+                      extend(cfg.path, t.symbol)});
+    }
+  }
+
+  void worker(std::size_t id) {
+    try {
+      while (!done_.load(std::memory_order_acquire)) {
+        std::optional<Config> cfg = pop(id);
+        if (!cfg) {
+          // `pending_` counts configurations queued or in flight; children
+          // are pushed before the parent's decrement, so pending == 0 with
+          // empty queues means the frontier is exhausted.
+          if (pending_.load(std::memory_order_acquire) == 0) return;
+          std::this_thread::yield();
+          continue;
+        }
+        process(id, std::move(*cfg));
+        pending_.fetch_sub(1, std::memory_order_release);
+      }
+    } catch (...) {
+      {
+        std::lock_guard lock(result_mutex_);
+        if (!failure_) failure_ = std::current_exception();
+      }
+      done_.store(true, std::memory_order_release);
+      pending_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  const Nfa& a_;
+  const Nfa& b_;
+  const bool use_antichain_;
+  Budget* budget_;
+
+  std::vector<std::vector<DynBitset>> store_;  // per left state
+  std::array<std::shared_mutex, kLockStripes> locks_;
+  std::atomic<std::uint64_t> total_{0};
+
+  std::vector<WorkerQueue> queues_;
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<bool> done_{false};
+
+  std::mutex result_mutex_;
+  std::optional<Word> counterexample_;
+  std::exception_ptr failure_;
+};
+
 }  // namespace
 
 InclusionResult check_inclusion(const Nfa& a, const Nfa& b,
-                                InclusionAlgorithm algorithm, Budget* budget) {
+                                InclusionAlgorithm algorithm, Budget* budget,
+                                std::size_t threads) {
   require_same_alphabet(a.alphabet(), b.alphabet(), "check_inclusion");
   StageScope scope(budget, Stage::kInclusion);
+  if (threads > 1) {
+    ParallelInclusion search(
+        a, b, algorithm == InclusionAlgorithm::kAntichain, threads, budget);
+    return search.run();
+  }
   switch (algorithm) {
     case InclusionAlgorithm::kSubset:
       return subset_inclusion(a, b, budget);
@@ -144,14 +376,14 @@ InclusionResult check_inclusion(const Nfa& a, const Nfa& b,
 }
 
 bool is_included(const Nfa& a, const Nfa& b, InclusionAlgorithm algorithm,
-                 Budget* budget) {
-  return check_inclusion(a, b, algorithm, budget).included;
+                 Budget* budget, std::size_t threads) {
+  return check_inclusion(a, b, algorithm, budget, threads).included;
 }
 
 bool nfa_equivalent(const Nfa& a, const Nfa& b, InclusionAlgorithm algorithm,
-                    Budget* budget) {
-  return is_included(a, b, algorithm, budget) &&
-         is_included(b, a, algorithm, budget);
+                    Budget* budget, std::size_t threads) {
+  return is_included(a, b, algorithm, budget, threads) &&
+         is_included(b, a, algorithm, budget, threads);
 }
 
 }  // namespace rlv

@@ -14,6 +14,20 @@
 // charged under Stage::kInclusion, the antichain/visited-set size is
 // reported as the stage's frontier peak, and a tripped limit raises
 // ResourceExhausted instead of running unbounded.
+//
+// With `threads > 1` the exploration runs as a sharded work-stealing
+// frontier search: each worker owns a deque of configurations and steals
+// from siblings when drained; the per-left-state antichain/visited store is
+// guarded by striped reader-writer locks (subsumption probes take the
+// shared side, insertions re-check under the exclusive side). The boolean
+// verdict is identical to the sequential search — subsumption pruning is
+// confluent, so exploration order cannot change whether a counterexample
+// exists — but a found counterexample word depends on the interleaving: it
+// is always a genuine member of L(a) \ L(b) (revalidate, don't
+// byte-compare). The sequential search (threads <= 1) additionally
+// guarantees a *shortest* counterexample (BFS order). Witness bookkeeping
+// uses shared parent-pointer chains in both modes, so memory stays
+// O(configurations) instead of O(configurations × depth).
 
 #include <optional>
 
@@ -35,21 +49,23 @@ struct InclusionResult {
 
 /// Decides L(a) ⊆ L(b). Both automata must share the same alphabet object;
 /// throws std::invalid_argument otherwise (this guard survives NDEBUG).
+/// `threads > 1` runs the sharded work-stealing parallel search (see the
+/// header comment for the determinism contract).
 [[nodiscard]] InclusionResult check_inclusion(
     const Nfa& a, const Nfa& b,
     InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain,
-    Budget* budget = nullptr);
+    Budget* budget = nullptr, std::size_t threads = 1);
 
 /// Convenience wrapper returning only the verdict.
 [[nodiscard]] bool is_included(
     const Nfa& a, const Nfa& b,
     InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain,
-    Budget* budget = nullptr);
+    Budget* budget = nullptr, std::size_t threads = 1);
 
 /// L(a) = L(b) via two inclusion checks.
 [[nodiscard]] bool nfa_equivalent(
     const Nfa& a, const Nfa& b,
     InclusionAlgorithm algorithm = InclusionAlgorithm::kAntichain,
-    Budget* budget = nullptr);
+    Budget* budget = nullptr, std::size_t threads = 1);
 
 }  // namespace rlv

@@ -7,9 +7,11 @@
 
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "rlv/lang/alphabet.hpp"
 #include "rlv/omega/buchi.hpp"
+#include "rlv/omega/product.hpp"
 #include "rlv/util/budget.hpp"
 
 namespace rlv {
@@ -36,5 +38,21 @@ enum class EmptinessAlgorithm {
 /// An accepted lasso u·v^ω when the language is non-empty.
 [[nodiscard]] std::optional<Lasso> find_accepting_lasso(
     const Buchi& a, Budget* budget = nullptr);
+
+/// On-the-fly emptiness of L_ω(op₁) ∩ … ∩ L_ω(opₙ): nested DFS (CVWY) over
+/// an OnTheFlyProduct, so only the product states the search visits are ever
+/// constructed — the materialized intersect_buchi chain always builds the
+/// full reachable product first. Returns an accepted lasso of the
+/// intersection when non-empty. The lasso is a genuine member of the
+/// intersection but, being DFS-extracted, is generally NOT the shortest one
+/// find_accepting_lasso would return on the materialized product —
+/// cross-validate by revalidation, not comparison. Product states are
+/// charged to `budget` under Stage::kEmptiness.
+[[nodiscard]] std::optional<Lasso> find_accepting_lasso_product(
+    const std::vector<const Buchi*>& operands, Budget* budget = nullptr);
+
+/// True when the intersection of the operands' ω-languages is empty.
+[[nodiscard]] bool product_empty(const std::vector<const Buchi*>& operands,
+                                 Budget* budget = nullptr);
 
 }  // namespace rlv

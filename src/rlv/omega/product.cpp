@@ -1,5 +1,7 @@
 #include "rlv/omega/product.hpp"
 
+#include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -60,6 +62,108 @@ GenBuchi product_gen(const Buchi& a, const Buchi& b, Budget* budget) {
 Buchi intersect_buchi(const Buchi& a, const Buchi& b, Budget* budget) {
   StageScope scope(budget, Stage::kProduct);
   return degeneralize(product_gen(a, b, budget), budget);
+}
+
+OnTheFlyProduct::OnTheFlyProduct(std::vector<const Buchi*> operands,
+                                 Budget* budget)
+    : operands_(std::move(operands)), budget_(budget) {
+  if (operands_.empty()) {
+    throw std::invalid_argument("OnTheFlyProduct: no operands");
+  }
+  for (const Buchi* op : operands_) {
+    require_same_alphabet(operands_.front()->alphabet(), op->alphabet(),
+                          "OnTheFlyProduct");
+  }
+
+  const std::size_t k = operands_.size();
+  // Cartesian product of the operands' initial states; the initial level
+  // accounts for acceptance sets the initial tuple itself satisfies,
+  // mirroring degeneralize().
+  std::vector<State> tuple(k);
+  std::vector<std::size_t> idx(k, 0);
+  for (;;) {
+    bool valid = true;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& inits = operands_[i]->initial();
+      if (idx[i] >= inits.size()) {
+        valid = false;
+        break;
+      }
+      tuple[i] = inits[idx[i]];
+    }
+    if (!valid) break;  // some operand has no initial state: empty product
+    std::size_t level = 0;
+    while (level < k && operands_[level]->is_accepting(tuple[level])) ++level;
+    const State id = intern(tuple, level);
+    if (std::find(initial_.begin(), initial_.end(), id) == initial_.end()) {
+      initial_.push_back(id);
+    }
+    // Odometer over the initial-state lists.
+    std::size_t i = 0;
+    while (i < k && ++idx[i] == operands_[i]->initial().size()) {
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == k) break;
+  }
+}
+
+State OnTheFlyProduct::intern(std::vector<State> parts, std::size_t level) {
+  std::size_t h = level;
+  for (const State s : parts) h = hash_combine(h, s);
+  std::vector<State>& bucket = buckets_[h];
+  for (const State id : bucket) {
+    if (levels_[id] == level && tuples_[id] == parts) return id;
+  }
+  budget_charge(budget_);
+  const State id = static_cast<State>(tuples_.size());
+  tuples_.push_back(std::move(parts));
+  levels_.push_back(level);
+  out_.emplace_back();
+  expanded_.push_back(false);
+  bucket.push_back(id);
+  return id;
+}
+
+void OnTheFlyProduct::expand(State s) {
+  const std::size_t k = operands_.size();
+  const std::vector<State> tuple = tuples_[s];  // copy: intern() reallocates
+  const std::size_t base = (levels_[s] == k) ? 0 : levels_[s];
+
+  // Join the operands' transitions symbol by symbol: start from operand 0's
+  // edges and extend one operand at a time, keeping only matching symbols.
+  std::vector<std::vector<State>> partial;
+  for (const auto& t0 : operands_[0]->out(tuple[0])) {
+    partial.assign(1, {t0.target});
+    std::vector<std::vector<State>> next;
+    for (std::size_t i = 1; i < k && !partial.empty(); ++i) {
+      next.clear();
+      for (const auto& ti : operands_[i]->out(tuple[i])) {
+        if (ti.symbol != t0.symbol) continue;
+        for (const std::vector<State>& p : partial) {
+          std::vector<State> ext = p;
+          ext.push_back(ti.target);
+          next.push_back(std::move(ext));
+        }
+      }
+      partial.swap(next);
+    }
+    for (std::vector<State>& targets : partial) {
+      std::size_t next_level = base;
+      while (next_level < k &&
+             operands_[next_level]->is_accepting(targets[next_level])) {
+        ++next_level;
+      }
+      const State to = intern(std::move(targets), next_level);
+      out_[s].push_back(Transition{t0.symbol, to});
+    }
+  }
+  expanded_[s] = true;
+}
+
+const std::vector<Transition>& OnTheFlyProduct::out(State s) {
+  if (!expanded_[s]) expand(s);
+  return out_[s];
 }
 
 Buchi union_buchi(const Buchi& a, const Buchi& b) {

@@ -6,8 +6,21 @@
 // part only is constructed. Each product state (and each degeneralization
 // level copy) is charged to the optional Budget under Stage::kProduct.
 //
+// OnTheFlyProduct is the lazy counterpart: an n-ary degeneralized product
+// whose states are interned and whose successors are expanded only when an
+// exploration asks for them. The emptiness search over it (see
+// emptiness.hpp: product_empty / find_accepting_lasso_product) therefore
+// pays only for the states it actually visits — on satisfied properties the
+// nested DFS often finds (or refutes) an accepting cycle after touching a
+// fraction of the full product, which the materializing path always builds
+// in full.
+//
 // Both operands must share one alphabet object; std::invalid_argument
 // otherwise (the guard survives NDEBUG builds).
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
 
 #include "rlv/omega/buchi.hpp"
 #include "rlv/util/budget.hpp"
@@ -25,5 +38,53 @@ namespace rlv {
 
 /// Disjoint union: L_ω(a) ∪ L_ω(b).
 [[nodiscard]] Buchi union_buchi(const Buchi& a, const Buchi& b);
+
+/// Lazy n-ary Büchi intersection with counter-based degeneralization built
+/// in: a product state is a tuple of operand states plus a level counter
+/// 0..k (k = number of operands); level k is accepting and resets on the
+/// next step, matching degeneralize()'s semantics, so the language equals
+/// the materialized intersect_buchi chain. States are interned to dense ids
+/// on first touch and charged to the Budget under the *caller's current
+/// stage* (the emptiness search runs it under Stage::kEmptiness — the lazy
+/// path has no separate product stage by construction). Successor lists are
+/// expanded once and cached; references returned by out() stay valid across
+/// later expansions.
+class OnTheFlyProduct {
+ public:
+  /// `operands` must be non-empty, outlive the product, and share one
+  /// alphabet object (std::invalid_argument otherwise).
+  OnTheFlyProduct(std::vector<const Buchi*> operands, Budget* budget);
+
+  /// Interned ids of the initial product states.
+  [[nodiscard]] const std::vector<State>& initial() const { return initial_; }
+
+  [[nodiscard]] bool is_accepting(State s) const {
+    return levels_[s] == operands_.size();
+  }
+
+  /// Successors of `s`, expanded on first call and cached.
+  [[nodiscard]] const std::vector<Transition>& out(State s);
+
+  /// Number of product states interned so far (monotone; exploration cost).
+  [[nodiscard]] std::size_t num_interned() const { return tuples_.size(); }
+
+ private:
+  State intern(std::vector<State> parts, std::size_t level);
+  void expand(State s);
+
+  std::vector<const Buchi*> operands_;
+  Budget* budget_;
+
+  // id ↔ (tuple, level); out_/expanded_ grow in lockstep with tuples_.
+  // out_ is a deque so the reference returned by out() survives later
+  // expansions (deque growth never moves existing elements).
+  std::vector<std::vector<State>> tuples_;
+  std::vector<std::size_t> levels_;
+  std::deque<std::vector<Transition>> out_;
+  std::vector<bool> expanded_;
+  std::vector<State> initial_;
+  // Interning index: tuple-hash → interned ids with that hash.
+  std::unordered_map<std::size_t, std::vector<State>> buckets_;
+};
 
 }  // namespace rlv

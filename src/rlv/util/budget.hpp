@@ -16,11 +16,16 @@
 // a wrong boolean. A null Budget* (the default everywhere) is a no-op, so
 // budget-disabled results are identical to unbudgeted execution.
 //
-// A Budget is meant to govern ONE check on ONE thread; it is not
-// thread-safe. The engine creates a fresh Budget per query and merges the
-// profile into its cumulative stats afterwards.
+// A Budget governs ONE check. charge()/tick()/note_frontier() are safe to
+// call concurrently from the worker threads of a parallel kernel (the
+// counters are atomic, so the state cap is enforced exactly under
+// concurrency); StageScope construction/destruction must stay on the
+// coordinating thread, and no worker may charge across a stage boundary.
+// The engine creates a fresh Budget per query and merges the profile into
+// its cumulative stats afterwards.
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <stdexcept>
@@ -63,17 +68,39 @@ class ResourceExhausted : public std::runtime_error {
   Kind kind_;
 };
 
-/// Per-stage observability counters.
+/// Per-stage observability counters. `states_built` and `peak_antichain`
+/// are atomic because parallel kernels charge them from worker threads;
+/// `calls` and `nanos` are only touched by StageScope on the coordinating
+/// thread. The copy operations take relaxed snapshots — copy a profile only
+/// after the governed kernel has quiesced (the engine copies per-query
+/// profiles after the check returns).
 struct StageMetrics {
-  std::uint64_t calls = 0;          // StageScope entries
-  std::uint64_t states_built = 0;   // states/configs constructed
-  std::uint64_t peak_antichain = 0; // largest antichain/frontier seen
-  std::uint64_t nanos = 0;          // exclusive wall time in this stage
+  std::uint64_t calls = 0;                    // StageScope entries
+  std::atomic<std::uint64_t> states_built{0}; // states/configs constructed
+  std::atomic<std::uint64_t> peak_antichain{0}; // peak antichain/frontier
+  std::uint64_t nanos = 0;                    // exclusive wall time
+
+  StageMetrics() = default;
+  StageMetrics(const StageMetrics& o) { *this = o; }
+  StageMetrics& operator=(const StageMetrics& o) {
+    calls = o.calls;
+    states_built.store(o.states_built.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    peak_antichain.store(o.peak_antichain.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    nanos = o.nanos;
+    return *this;
+  }
 
   StageMetrics& operator+=(const StageMetrics& o) {
     calls += o.calls;
-    states_built += o.states_built;
-    if (o.peak_antichain > peak_antichain) peak_antichain = o.peak_antichain;
+    states_built.fetch_add(o.states_built.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    const std::uint64_t other_peak =
+        o.peak_antichain.load(std::memory_order_relaxed);
+    if (other_peak > peak_antichain.load(std::memory_order_relaxed)) {
+      peak_antichain.store(other_peak, std::memory_order_relaxed);
+    }
     nanos += o.nanos;
     return *this;
   }
@@ -132,12 +159,16 @@ class Budget {
   void set_max_states(std::uint64_t max_states) { max_states_ = max_states; }
 
   /// Records `states` newly constructed states/configs under the current
-  /// stage and enforces both limits. Throws ResourceExhausted.
+  /// stage and enforces both limits. Throws ResourceExhausted. Safe to call
+  /// concurrently: the cap check rides a single fetch_add, so no two
+  /// threads can both observe a total at or below the cap once it is
+  /// crossed — budgets stay exact under intra-query parallelism.
   void charge(std::uint64_t states = 1) {
-    StageMetrics& m = profile_[stage_];
-    m.states_built += states;
-    states_used_ += states;
-    if (states_used_ > max_states_) {
+    profile_[stage_].states_built.fetch_add(states,
+                                            std::memory_order_relaxed);
+    const std::uint64_t used =
+        states_used_.fetch_add(states, std::memory_order_relaxed) + states;
+    if (used > max_states_) {
       throw ResourceExhausted(stage_, ResourceExhausted::Kind::kStates);
     }
     maybe_check_deadline();
@@ -145,25 +176,35 @@ class Budget {
 
   /// Deadline check only — for inner loops that do work without building
   /// states (e.g. the ranking odometer of the complement construction).
-  /// Cheap: consults the clock once every 64 calls.
+  /// Cheap: consults the clock once every 64 calls (across all threads).
   void tick() { maybe_check_deadline(); }
 
-  /// Updates the peak antichain/frontier size of the current stage.
+  /// Updates the peak antichain/frontier size of the current stage
+  /// (monotone max, lock-free).
   void note_frontier(std::uint64_t size) {
-    StageMetrics& m = profile_[stage_];
-    if (size > m.peak_antichain) m.peak_antichain = size;
+    std::atomic<std::uint64_t>& peak = profile_[stage_].peak_antichain;
+    std::uint64_t seen = peak.load(std::memory_order_relaxed);
+    while (size > seen &&
+           !peak.compare_exchange_weak(seen, size,
+                                       std::memory_order_relaxed)) {
+    }
   }
 
   [[nodiscard]] Stage stage() const { return stage_; }
   [[nodiscard]] const QueryProfile& profile() const { return profile_; }
-  [[nodiscard]] std::uint64_t states_used() const { return states_used_; }
+  [[nodiscard]] std::uint64_t states_used() const {
+    return states_used_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class StageScope;
 
   void maybe_check_deadline() {
     if (!has_deadline_) return;
-    if ((++deadline_ticks_ & 0x3f) != 0) return;
+    if ((deadline_ticks_.fetch_add(1, std::memory_order_relaxed) & 0x3f) !=
+        0x3f) {
+      return;
+    }
     check_deadline_now();
   }
 
@@ -176,8 +217,10 @@ class Budget {
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
   std::uint64_t max_states_ = ~std::uint64_t{0};
-  std::uint64_t states_used_ = 0;
-  std::uint32_t deadline_ticks_ = 0;
+  std::atomic<std::uint64_t> states_used_{0};
+  std::atomic<std::uint32_t> deadline_ticks_{0};
+  // Written only by StageScope on the coordinating thread; parallel kernels
+  // never cross a stage boundary while workers are charging.
   Stage stage_ = Stage::kOther;
   StageScope* top_ = nullptr;
   QueryProfile profile_;

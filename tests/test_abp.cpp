@@ -44,7 +44,7 @@ TEST(Abp, DeliverIsRelativeLivenessButNotSatisfied) {
   const Labeling lambda = Labeling::canonical(system.alphabet());
   const Formula goal = patterns::infinitely_often("deliver");
 
-  EXPECT_FALSE(satisfies(behaviors, goal, lambda));
+  EXPECT_FALSE(satisfies(behaviors, goal, lambda).holds);
   EXPECT_TRUE(relative_liveness(behaviors, goal, lambda).holds);
   EXPECT_FALSE(relative_safety(behaviors, goal, lambda).holds);
 
@@ -78,7 +78,7 @@ TEST(Abp, OrderedDeliverySafety) {
   const Labeling lambda = Labeling::canonical(system.alphabet());
   const Formula weak = parse_ltl(
       "G(deliver -> X((!deliver U (ack0 || ack1)) || G !deliver))");
-  EXPECT_TRUE(satisfies(behaviors, weak, lambda));
+  EXPECT_TRUE(satisfies(behaviors, weak, lambda).holds);
   EXPECT_TRUE(relative_safety(behaviors, weak, lambda).holds);
   EXPECT_TRUE(relative_liveness(behaviors, weak, lambda).holds);
 
@@ -87,7 +87,7 @@ TEST(Abp, OrderedDeliverySafety) {
   // neither satisfied nor relative safety, but it IS relative liveness.
   const Formula strict =
       parse_ltl("G(deliver -> X(!deliver U (ack0 || ack1)))");
-  EXPECT_FALSE(satisfies(behaviors, strict, lambda));
+  EXPECT_FALSE(satisfies(behaviors, strict, lambda).holds);
   EXPECT_FALSE(relative_safety(behaviors, strict, lambda).holds);
   EXPECT_TRUE(relative_liveness(behaviors, strict, lambda).holds);
 }

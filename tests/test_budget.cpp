@@ -171,6 +171,39 @@ TEST(Budget, RelativeSafetyAutomatonFlavorReportsExhausted) {
   EXPECT_FALSE(res.counterexample.has_value());
 }
 
+// Regression: satisfies() used to let ResourceExhausted escape as an
+// exception (unlike every relative_* entry point). It now reports the
+// tripped stage through SatisfactionResult::exhausted instead.
+TEST(Budget, SatisfiesReportsExhaustedInsteadOfThrowing) {
+  Rng rng(5);
+  const AlphabetRef sigma = random_alphabet(2);
+  const Nfa system_nfa = random_transition_system(rng, 6, sigma);
+  const Buchi system = limit_of_prefix_closed(system_nfa);
+  const Labeling lambda = Labeling::canonical(sigma);
+
+  // Formula flavor: a 1-state budget trips inside the LTL translation.
+  Budget tiny;
+  tiny.set_max_states(1);
+  const SatisfactionResult formula_res =
+      satisfies(system, parse_ltl("G F a0"), lambda, &tiny);
+  ASSERT_TRUE(formula_res.exhausted.has_value());
+  EXPECT_FALSE(formula_res.holds);
+
+  // Automaton flavor: trips inside rank-based complementation.
+  Budget tiny2;
+  tiny2.set_max_states(1);
+  const Buchi hard = dense_buchi(4, sigma);
+  const SatisfactionResult automaton_res = satisfies(system, hard, &tiny2);
+  ASSERT_TRUE(automaton_res.exhausted.has_value());
+  EXPECT_FALSE(automaton_res.holds);
+
+  // An unarmed budget must not report exhaustion.
+  Budget unarmed;
+  const SatisfactionResult ok = satisfies(system, parse_ltl("G F a0"), lambda,
+                                          &unarmed);
+  EXPECT_FALSE(ok.exhausted.has_value());
+}
+
 TEST(Budget, RelativeLivenessFormulaFlavorUnaffectedByGenerousBudget) {
   Rng rng(17);
   for (int round = 0; round < 25; ++round) {

@@ -78,7 +78,7 @@ TEST_P(Cross3, RelativeChecksTheoremFourSeven) {
   const Labeling lambda = Labeling::canonical(sigma_);
   const Formula f = random_formula(
       rng, {sigma_->name(0), sigma_->name(1), sigma_->name(2)}, 2);
-  EXPECT_EQ(satisfies(system, f, lambda),
+  EXPECT_EQ(satisfies(system, f, lambda).holds,
             relative_liveness(system, f, lambda).holds &&
                 relative_safety(system, f, lambda).holds)
       << f.to_string();

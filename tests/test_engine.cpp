@@ -112,7 +112,7 @@ TEST(Engine, AgreesWithDirectLibraryCalls) {
 
     const Verdict sat =
         engine.run_one({text, "G F result", CheckKind::kSatisfaction});
-    EXPECT_EQ(sat.holds, satisfies(behaviors, f, lambda));
+    EXPECT_EQ(sat.holds, satisfies(behaviors, f, lambda).holds);
   }
 }
 

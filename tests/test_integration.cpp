@@ -34,7 +34,7 @@ void check_consistency(const Nfa& system_graph, Formula f) {
   const Buchi behaviors = limit_of_prefix_closed(system_graph);
   const Labeling lambda = Labeling::canonical(system_graph.alphabet());
 
-  const bool sat = satisfies(behaviors, f, lambda);
+  const bool sat = satisfies(behaviors, f, lambda).holds;
   const bool rl = relative_liveness(behaviors, f, lambda).holds;
   const bool rs = relative_safety(behaviors, f, lambda).holds;
   // Theorem 4.7.

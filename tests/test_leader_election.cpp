@@ -36,7 +36,7 @@ TEST(LeaderElection, OnlyTheMaximumIdWins) {
     for (std::size_t i = 0; i + 1 < n; ++i) {
       const Formula never =
           parse_ltl("G !elected_" + std::to_string(i));
-      EXPECT_TRUE(satisfies(behaviors, never, lambda)) << "n=" << n
+      EXPECT_TRUE(satisfies(behaviors, never, lambda).holds) << "n=" << n
                                                        << " i=" << i;
     }
     // The maximum can win: elected_{n-1} is reachable.
@@ -53,7 +53,7 @@ TEST(LeaderElection, ElectionLivenessTriple) {
   const Formula elected = parse_ltl("F elected_2");
 
   // Nobody has to initiate: not satisfied outright.
-  EXPECT_FALSE(satisfies(behaviors, elected, lambda));
+  EXPECT_FALSE(satisfies(behaviors, elected, lambda).holds);
   // But never doomed: relative liveness.
   EXPECT_TRUE(relative_liveness(behaviors, elected, lambda).holds);
   // And strong fairness forces the election through.

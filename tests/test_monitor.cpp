@@ -254,7 +254,8 @@ TEST(Patterns, PaperPropertiesViaPatterns) {
   // A result can only come after a request (weak precedence) — satisfied
   // outright, not just relatively.
   EXPECT_TRUE(satisfies(system, patterns::precedence_weak("request", "result"),
-                        lambda));
+                        lambda)
+                  .holds);
 }
 
 }  // namespace

@@ -1,0 +1,337 @@
+// Differential tests for the intra-query parallel kernels (PR: parallel
+// inclusion + on-the-fly emptiness):
+//
+//   * sequential vs parallel check_inclusion, subset vs antichain — the
+//     boolean verdict must be identical on every random instance; a
+//     counterexample is validated by revalidation (membership in
+//     L(a) \ L(b)), never by comparing against the sequential word, which
+//     the parallel search does not promise to reproduce;
+//   * materialized (intersect_buchi + buchi_empty/find_accepting_lasso) vs
+//     on-the-fly (product_empty / find_accepting_lasso_product) emptiness,
+//     2-ary and 3-ary;
+//   * relative_liveness and the engine with intra-query threads against
+//     their sequential verdicts;
+//   * the witness-memory and antichain-accounting regressions (deep-chain
+//     shortest counterexample, heavy-subsumption frontier counter).
+//
+// The randomized suites here are the cross-validation gate for the
+// parallel kernels and run under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rlv/core/relative.hpp"
+#include "rlv/engine/engine.hpp"
+#include "rlv/gen/random.hpp"
+#include "rlv/io/format.hpp"
+#include "rlv/lang/inclusion.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/ltl/translate.hpp"
+#include "rlv/omega/emptiness.hpp"
+#include "rlv/omega/lasso.hpp"
+#include "rlv/omega/limit.hpp"
+#include "rlv/omega/live.hpp"
+#include "rlv/omega/product.hpp"
+#include "rlv/util/rng.hpp"
+
+namespace rlv {
+namespace {
+
+constexpr std::size_t kThreads = 4;
+
+// ---------------------------------------------------------------------------
+// Inclusion: sequential vs parallel, subset vs antichain.
+
+class InclusionDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(InclusionDifferential, ParallelVerdictMatchesSequential) {
+  Rng rng(GetParam() * 2654435761 + 7);
+  auto sigma = random_alphabet(2);
+  const Nfa a = random_nfa(rng, 3 + rng.next_below(5), sigma);
+  const Nfa b = random_nfa(rng, 3 + rng.next_below(5), sigma);
+
+  const InclusionResult subset_seq =
+      check_inclusion(a, b, InclusionAlgorithm::kSubset);
+  const InclusionResult antichain_seq =
+      check_inclusion(a, b, InclusionAlgorithm::kAntichain);
+  // The two sequential algorithms must agree with each other.
+  ASSERT_EQ(subset_seq.included, antichain_seq.included);
+
+  for (const InclusionAlgorithm algorithm :
+       {InclusionAlgorithm::kSubset, InclusionAlgorithm::kAntichain}) {
+    const InclusionResult par =
+        check_inclusion(a, b, algorithm, nullptr, kThreads);
+    EXPECT_EQ(par.included, subset_seq.included)
+        << "algorithm=" << inclusion_algorithm_name(algorithm);
+    if (!par.included) {
+      // Revalidate, don't byte-compare: any word of L(a) \ L(b) is correct.
+      ASSERT_TRUE(par.counterexample.has_value());
+      EXPECT_TRUE(a.accepts(*par.counterexample));
+      EXPECT_FALSE(b.accepts(*par.counterexample));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InclusionDifferential,
+                         ::testing::Range<std::uint64_t>(0, 300));
+
+// ---------------------------------------------------------------------------
+// Emptiness: materialized product vs on-the-fly product.
+
+class EmptinessDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(EmptinessDifferential, LazyProductMatchesMaterialized) {
+  Rng rng(GetParam() * 1099511628211 + 13);
+  auto sigma = random_alphabet(2);
+  const Buchi a = random_buchi(rng, 2 + rng.next_below(4), sigma);
+  const Buchi b = random_buchi(rng, 2 + rng.next_below(4), sigma);
+  const Buchi c = random_buchi(rng, 2 + rng.next_below(3), sigma);
+
+  // 2-ary.
+  const bool materialized2 = buchi_empty(intersect_buchi(a, b));
+  EXPECT_EQ(product_empty({&a, &b}), materialized2);
+  if (const auto lasso = find_accepting_lasso_product({&a, &b})) {
+    EXPECT_FALSE(materialized2);
+    EXPECT_TRUE(accepts_lasso(a, *lasso));
+    EXPECT_TRUE(accepts_lasso(b, *lasso));
+  }
+
+  // 3-ary: one lazy triple product vs a chain of materialized pairs.
+  const bool materialized3 = buchi_empty(intersect_buchi(intersect_buchi(a, b), c));
+  EXPECT_EQ(product_empty({&a, &b, &c}), materialized3);
+  if (const auto lasso = find_accepting_lasso_product({&a, &b, &c})) {
+    EXPECT_FALSE(materialized3);
+    EXPECT_TRUE(accepts_lasso(a, *lasso));
+    EXPECT_TRUE(accepts_lasso(b, *lasso));
+    EXPECT_TRUE(accepts_lasso(c, *lasso));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmptinessDifferential,
+                         ::testing::Range<std::uint64_t>(0, 250));
+
+// ---------------------------------------------------------------------------
+// Full checks: rl (parallel inclusion), rs/sat (lazy products) against the
+// sequential/materialized decision procedures.
+
+class CheckDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckDifferential, VerdictsAgreeAcrossExecutionModes) {
+  Rng rng(GetParam() * 96557 + 29);
+  auto sigma = random_alphabet(2);
+  const Nfa ts = random_transition_system(rng, 2 + rng.next_below(4), sigma);
+  if (ts.num_states() == 0) return;
+  const Buchi system = limit_of_prefix_closed(ts);
+  const Labeling lambda = Labeling::canonical(sigma);
+  const Formula f =
+      random_formula(rng, {sigma->name(0), sigma->name(1)}, 2);
+
+  // Relative liveness: sequential vs parallel inclusion, both algorithms.
+  const auto rl_seq = relative_liveness(system, f, lambda);
+  for (const InclusionAlgorithm algorithm :
+       {InclusionAlgorithm::kSubset, InclusionAlgorithm::kAntichain}) {
+    const auto rl_par =
+        relative_liveness(system, f, lambda, algorithm, nullptr, kThreads);
+    ASSERT_EQ(rl_par.holds, rl_seq.holds) << f.to_string();
+    if (!rl_par.holds) {
+      // The violating prefix must be a system prefix with no continuation
+      // into L_ω ∩ P — exactly Lemma 4.3's counterexample condition.
+      ASSERT_TRUE(rl_par.violating_prefix.has_value());
+      const Buchi property = translate_ltl(f, lambda);
+      const Nfa pre_sys = prefix_nfa(system);
+      const Nfa pre_both = prefix_nfa(intersect_buchi(system, property));
+      EXPECT_TRUE(pre_sys.accepts(*rl_par.violating_prefix)) << f.to_string();
+      EXPECT_FALSE(pre_both.accepts(*rl_par.violating_prefix))
+          << f.to_string();
+    }
+  }
+
+  // Satisfaction through the lazy product vs the materialized equivalent.
+  const auto sat = satisfies(system, f, lambda);
+  ASSERT_FALSE(sat.exhausted.has_value());
+  const Buchi negated = translate_ltl_negated(f, lambda);
+  EXPECT_EQ(sat.holds, buchi_empty(intersect_buchi(system, negated)))
+      << f.to_string();
+
+  // Relative safety (lazy triple product): Theorem 4.7 cross-check —
+  // satisfaction ⟺ relative liveness ∧ relative safety.
+  const auto rs = relative_safety(system, f, lambda);
+  ASSERT_FALSE(rs.exhausted.has_value());
+  EXPECT_EQ(sat.holds, rl_seq.holds && rs.holds) << f.to_string();
+  if (rs.counterexample) {
+    // A genuine behavior of the system violating P.
+    EXPECT_TRUE(accepts_lasso(system, *rs.counterexample)) << f.to_string();
+    EXPECT_TRUE(accepts_lasso(negated, *rs.counterexample)) << f.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckDifferential,
+                         ::testing::Range<std::uint64_t>(0, 150));
+
+// ---------------------------------------------------------------------------
+// Engine: intra_query_threads must not change any verdict.
+
+TEST(ParallelEngine, IntraQueryThreadsPreserveVerdicts) {
+  Rng rng(4242);
+  auto sigma = random_alphabet(2);
+
+  std::vector<Query> queries;
+  for (int i = 0; i < 25; ++i) {
+    const Nfa ts =
+        random_transition_system(rng, 2 + rng.next_below(4), sigma);
+    if (ts.num_states() == 0) continue;
+    Query q;
+    q.system = serialize_system(ts);
+    q.formula =
+        random_formula(rng, {sigma->name(0), sigma->name(1)}, 2).to_string();
+    q.kind = (i % 3 == 0)   ? CheckKind::kRelativeLiveness
+             : (i % 3 == 1) ? CheckKind::kRelativeSafety
+                            : CheckKind::kSatisfaction;
+    queries.push_back(std::move(q));
+  }
+
+  EngineOptions sequential;
+  Engine seq_engine(sequential);
+  EngineOptions parallel;
+  parallel.intra_query_threads = kThreads;
+  parallel.jobs = 2;  // inter-query and intra-query parallelism composed
+  Engine par_engine(parallel);
+
+  const auto seq = seq_engine.run(queries);
+  const auto par = par_engine.run(queries);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].ok(), par[i].ok()) << i;
+    EXPECT_EQ(seq[i].holds, par[i].holds) << i;
+    EXPECT_EQ(seq[i].violating_prefix.has_value(),
+              par[i].violating_prefix.has_value())
+        << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Witness-memory regression: the deep-chain family has a unique shortest
+// counterexample of length n. The BFS must still return exactly it
+// (sequential shortest-path guarantee survives the parent-pointer rewrite),
+// and the explored frontier must stay linear in n — the old full-Word
+// representation held Θ(n²) symbols at peak on this family.
+
+TEST(WitnessMemory, DeepChainShortestCounterexample) {
+  constexpr std::size_t kDepth = 1500;
+  auto sigma = random_alphabet(2);
+
+  // a accepts exactly { 0^kDepth }; b accepts { 0^k | k < kDepth }.
+  Nfa a(sigma);
+  Nfa b(sigma);
+  State pa = a.add_state(false);
+  State pb = b.add_state(true);
+  a.set_initial(pa);
+  b.set_initial(pb);
+  for (std::size_t i = 0; i < kDepth; ++i) {
+    const State na = a.add_state(i + 1 == kDepth);
+    a.add_transition(pa, 0, na);
+    pa = na;
+    const State nb = b.add_state(i + 1 < kDepth);
+    b.add_transition(pb, 0, nb);
+    pb = nb;
+  }
+
+  for (const InclusionAlgorithm algorithm :
+       {InclusionAlgorithm::kSubset, InclusionAlgorithm::kAntichain}) {
+    Budget budget;
+    const InclusionResult res = check_inclusion(a, b, algorithm, &budget);
+    EXPECT_FALSE(res.included);
+    ASSERT_TRUE(res.counterexample.has_value());
+    // Unique witness: exactly 0^kDepth — and the shortest by BFS order.
+    EXPECT_EQ(res.counterexample->size(), kDepth);
+    EXPECT_TRUE(a.accepts(*res.counterexample));
+    const StageMetrics& m = budget.profile()[Stage::kInclusion];
+    // Linear exploration: one configuration per chain position.
+    EXPECT_LE(m.states_built, 2 * (kDepth + 1));
+    EXPECT_LE(m.peak_antichain, 2 * (kDepth + 1));
+  }
+
+  // The parallel search returns *a* valid counterexample (here unique, so
+  // it must be the same word).
+  const InclusionResult par = check_inclusion(
+      a, b, InclusionAlgorithm::kAntichain, nullptr, kThreads);
+  EXPECT_FALSE(par.included);
+  ASSERT_TRUE(par.counterexample.has_value());
+  EXPECT_EQ(par.counterexample->size(), kDepth);
+}
+
+// ---------------------------------------------------------------------------
+// Antichain-accounting regression: dense random instances cause insertions
+// that subsume several stored elements at once; the frontier counter
+// reported through budget_note_frontier must never drift from the true
+// antichain size (the Debug build asserts exact equality after every
+// insertion) and never underflow (size_t wraparound would report absurd
+// peaks).
+
+TEST(AntichainAccounting, HeavySubsumptionKeepsCounterExact) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
+    auto sigma = random_alphabet(2);
+    // Dense right-hand automata maximize distinct subset states and
+    // therefore subsumption churn.
+    const Nfa a = random_nfa(rng, 4 + rng.next_below(4), sigma);
+    const Nfa b = random_nfa(rng, 6 + rng.next_below(5), sigma);
+    Budget budget;
+    const InclusionResult res =
+        check_inclusion(a, b, InclusionAlgorithm::kAntichain, &budget);
+    const StageMetrics& m = budget.profile()[Stage::kInclusion];
+    // The peak frontier can never exceed the number of insertions, and a
+    // size_t underflow would blow it past this bound by ~2^64.
+    EXPECT_LE(m.peak_antichain, m.states_built) << "seed=" << seed;
+    if (!res.included) {
+      ASSERT_TRUE(res.counterexample.has_value());
+      EXPECT_TRUE(a.accepts(*res.counterexample));
+      EXPECT_FALSE(b.accepts(*res.counterexample));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Budget behavior of the parallel kernels: a tripped budget must surface as
+// ResourceExhausted from every worker interleaving — no deadlock, no crash,
+// no wrong verdict.
+
+TEST(ParallelBudget, ExhaustionPropagatesFromWorkers) {
+  // (a|b)* a (a|b)^{n-1} against itself: the inclusion HOLDS, so the search
+  // has no early counterexample exit and must exhaust the (exponential)
+  // antichain — guaranteeing the 3-configuration cap trips in some worker.
+  auto sigma = random_alphabet(2);
+  auto nth_from_end = [&](std::size_t n) {
+    Nfa nfa(sigma);
+    const State s0 = nfa.add_state(false);
+    nfa.add_transition(s0, 0, s0);
+    nfa.add_transition(s0, 1, s0);
+    State prev = nfa.add_state(n == 1);
+    nfa.add_transition(s0, 0, prev);
+    for (std::size_t i = 1; i < n; ++i) {
+      const State next = nfa.add_state(i + 1 == n);
+      nfa.add_transition(prev, 0, next);
+      nfa.add_transition(prev, 1, next);
+      prev = next;
+    }
+    nfa.set_initial(s0);
+    return nfa;
+  };
+  const Nfa a = nth_from_end(10);
+  const Nfa b = nth_from_end(10);
+  Budget budget;
+  budget.set_max_states(3);  // trips almost immediately
+  EXPECT_THROW(
+      {
+        const auto res = check_inclusion(a, b, InclusionAlgorithm::kAntichain,
+                                         &budget, kThreads);
+        (void)res;
+      },
+      ResourceExhausted);
+}
+
+}  // namespace
+}  // namespace rlv

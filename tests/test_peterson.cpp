@@ -72,8 +72,8 @@ TEST(Peterson, MutualExclusionHoldsOutright) {
       "G(enter_0 -> X((!enter_1 U exit_0) || G !enter_1))");
   const Formula mutex1 = parse_ltl(
       "G(enter_1 -> X((!enter_0 U exit_1) || G !enter_0))");
-  EXPECT_TRUE(satisfies(behaviors, mutex0, lambda));
-  EXPECT_TRUE(satisfies(behaviors, mutex1, lambda));
+  EXPECT_TRUE(satisfies(behaviors, mutex0, lambda).holds);
+  EXPECT_TRUE(satisfies(behaviors, mutex1, lambda).holds);
 }
 
 TEST(Peterson, StarvationFreedomNeedsFairness) {
@@ -83,7 +83,7 @@ TEST(Peterson, StarvationFreedomNeedsFairness) {
   const Formula starvation_free = parse_ltl("G(req_0 -> F enter_0)");
 
   // Without fairness the scheduler can simply never run process 0 again.
-  EXPECT_FALSE(satisfies(behaviors, starvation_free, lambda));
+  EXPECT_FALSE(satisfies(behaviors, starvation_free, lambda).holds);
   // But no prefix is doomed: relative liveness.
   EXPECT_TRUE(relative_liveness(behaviors, starvation_free, lambda).holds);
   // And strong fairness realizes it — Peterson's guarantee.
@@ -113,7 +113,7 @@ TEST(Peterson, BoundedOvertakingFromTheDoorway) {
   const Formula bounded = parse_ltl(
       "G(turn_0 -> ((!enter_1 && !enter_0) U (enter_0 || "
       "(enter_1 && X((!enter_1 && !enter_0) U enter_0)))))");
-  EXPECT_TRUE(satisfies(behaviors, bounded, lambda));
+  EXPECT_TRUE(satisfies(behaviors, bounded, lambda).holds);
 
   // Anchored at req_0 instead — before the flag is raised — overtaking is
   // unbounded: process 1 can enter twice while process 0 still sits in the

@@ -67,7 +67,7 @@ TEST(Philosophers, EveryoneEatsIsRelativeLiveness) {
           .holds);
   // But it is not classically satisfied (others may hog the table).
   EXPECT_FALSE(
-      satisfies(behaviors, patterns::infinitely_often("eat_0"), lambda));
+      satisfies(behaviors, patterns::infinitely_often("eat_0"), lambda).holds);
 }
 
 TEST(Philosophers, MonitorFlagsTheDeadlockPath) {

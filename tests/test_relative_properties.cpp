@@ -34,7 +34,7 @@ TEST(RelativeLiveness, BoxDiamondResultOnFigure2) {
   const Formula f = parse_ltl("G F result");
 
   // Not classically satisfied: lock (request no reject)^ω is a behavior.
-  EXPECT_FALSE(satisfies(system, f, lambda));
+  EXPECT_FALSE(satisfies(system, f, lambda).holds);
   // But it is a relative liveness property (the paper's Section 2 claim).
   EXPECT_TRUE(relative_liveness(system, f, lambda).holds);
   // And not a relative safety property (otherwise Thm 4.7 would force
@@ -84,7 +84,7 @@ TEST(RelativeSafety, NeverYesIsRelativeSafetyButNotLiveness) {
 
   EXPECT_TRUE(relative_safety(system, f, lambda).holds);
   EXPECT_FALSE(relative_liveness(system, f, lambda).holds);
-  EXPECT_FALSE(satisfies(system, f, lambda));
+  EXPECT_FALSE(satisfies(system, f, lambda).holds);
 }
 
 TEST(RelativeSafety, CounterexampleIsGenuine) {
@@ -110,8 +110,8 @@ TEST(Satisfaction, PositiveCase) {
   // (two results never happen back-to-back: result leads to idle).
   const Buchi system = fig2_limit();
   const Labeling lambda = Labeling::canonical(system.alphabet());
-  EXPECT_TRUE(satisfies(system, parse_ltl("G(result -> !(X result))"), lambda));
-  EXPECT_FALSE(satisfies(system, parse_ltl("G(yes -> F result)"), lambda));
+  EXPECT_TRUE(satisfies(system, parse_ltl("G(result -> !(X result))"), lambda).holds);
+  EXPECT_FALSE(satisfies(system, parse_ltl("G(yes -> F result)"), lambda).holds);
   EXPECT_TRUE(relative_liveness(system, parse_ltl("G(yes -> F result)"),
                                 lambda)
                   .holds);
@@ -183,7 +183,7 @@ TEST_P(RelativeProperty, Theorem47Decomposition) {
   const Formula f =
       random_formula(rng, {sigma->name(0), sigma->name(1)}, 3);
 
-  const bool sat = satisfies(system, f, lambda);
+  const bool sat = satisfies(system, f, lambda).holds;
   const bool rl = relative_liveness(system, f, lambda).holds;
   const bool rs = relative_safety(system, f, lambda).holds;
   EXPECT_EQ(sat, rl && rs) << f.to_string();

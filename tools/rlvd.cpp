@@ -6,7 +6,7 @@
 // stdout. Request lines:
 //
 //   <system-file> [--check rl|rs|sat|fair|fairweak]
-//                 [--algorithm subset|antichain]
+//                 [--algorithm subset|antichain] [--threads N]
 //                 [--property-aut <buchi-file>] [<formula...>]
 //
 // Everything after the system path and the optional flags is the PLTL
@@ -36,6 +36,8 @@
 //   --cache N       per-cache capacity in entries (default 256)
 //   --timeout-ms N  per-query wall-clock budget (default 0: unlimited)
 //   --max-states N  per-query constructed-state budget (default 0)
+//   --threads N     intra-query threads for the parallel inclusion search
+//                   (default 1: sequential; per-line --threads overrides)
 //   --metrics       emit an end-of-batch JSON metrics summary on stdout
 //
 // Exit status: 0 = every line executed (whatever the verdicts), 2 = bad
@@ -61,10 +63,10 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: rlvd [<batch-file>|-] [--jobs N] [--cache N] [--timeout-ms N]"
-      " [--max-states N] [--metrics]\n"
+      " [--max-states N] [--threads N] [--metrics]\n"
       "  batch line: <system-file> [--check rl|rs|sat|fair|fairweak]"
-      " [--algorithm subset|antichain] [--property-aut <file>]"
-      " [<formula...>]\n");
+      " [--algorithm subset|antichain] [--threads N]"
+      " [--property-aut <file>] [<formula...>]\n");
   return 2;
 }
 
@@ -110,6 +112,13 @@ std::optional<Request> parse_request_line(const std::string& line,
                                  tokens[i + 1] + "'");
       }
       request.query.algorithm = *algorithm;
+      i += 2;
+    } else if (i + 1 < tokens.size() && tokens[i] == "--threads") {
+      const int threads = std::atoi(tokens[i + 1].c_str());
+      if (threads <= 0) {
+        throw std::runtime_error("bad --threads '" + tokens[i + 1] + "'");
+      }
+      request.query.threads = static_cast<std::size_t>(threads);
       i += 2;
     } else if (i + 1 < tokens.size() && tokens[i] == "--property-aut") {
       request.property_path = tokens[i + 1];
@@ -182,6 +191,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-states" && i + 1 < argc) {
       options.max_states =
           static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.intra_query_threads =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (options.intra_query_threads == 0) return usage();
     } else if (arg == "--metrics") {
       metrics = true;
     } else if (!have_path) {
