@@ -122,10 +122,39 @@ void BM_EngineWarmCache(benchmark::State& state) {
   report_qps(state, batch.size());
 }
 
+// Certification overhead (experiment E24): the same cached-batch workload
+// with certify_verdicts on — each negative verdict's witness is revalidated
+// by the independent certificate checker once before it enters the verdict
+// cache; cache hits skip revalidation. Compare BM_EngineCertified against
+// BM_EngineSequential and BM_EngineWarmCacheCertified against
+// BM_EngineWarmCache: the acceptance bar is < 10% on the cached batch.
+void BM_EngineCertified(benchmark::State& state) {
+  const std::vector<Query> batch = engine_batch();
+  for (auto _ : state) {
+    Engine engine(EngineOptions{.jobs = 1, .certify_verdicts = true});
+    auto verdicts = engine.run(batch);
+    benchmark::DoNotOptimize(verdicts);
+  }
+  report_qps(state, batch.size());
+}
+
+void BM_EngineWarmCacheCertified(benchmark::State& state) {
+  const std::vector<Query> batch = engine_batch();
+  Engine engine(EngineOptions{.jobs = 4, .certify_verdicts = true});
+  (void)engine.run(batch);  // warm every cache (certifying each miss once)
+  for (auto _ : state) {
+    auto verdicts = engine.run(batch);
+    benchmark::DoNotOptimize(verdicts);
+  }
+  report_qps(state, batch.size());
+}
+
 BENCHMARK(BM_NoReuseBaseline)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineSequential)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineSequentialBudgeted)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineJobs4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineWarmCache)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineCertified)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineWarmCacheCertified)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,150 @@
+#include "rlv/cert/oracle.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "rlv/ltl/translate.hpp"
+
+namespace rlv::cert {
+
+namespace {
+
+DynBitset pruned_initial(const Nfa& structure, const DynBitset& live) {
+  DynBitset init(structure.num_states());
+  for (const State s : structure.initial()) {
+    if (live.test(s)) init.set(s);
+  }
+  return init;
+}
+
+DynBitset pruned_step(const Nfa& structure, const DynBitset& cur, Symbol a,
+                      const DynBitset& live) {
+  DynBitset next = structure.step(cur, a);
+  next &= live;
+  return next;
+}
+
+}  // namespace
+
+bool oracle_satisfies(const Buchi& system, const Buchi& negated_property,
+                      std::size_t max_states) {
+  return !gen_nonempty(
+      explicit_product({&system, &negated_property}, max_states));
+}
+
+bool oracle_satisfies(const Buchi& system, Formula f, const Labeling& lambda,
+                      std::size_t max_states) {
+  const Buchi negated = translate_ltl_negated(f, lambda);
+  return oracle_satisfies(system, negated, max_states);
+}
+
+bool oracle_relative_liveness(const Buchi& system, const Buchi& property,
+                              std::size_t max_states) {
+  require_same_alphabet(system.alphabet(), property.alphabet(),
+                        "oracle_relative_liveness");
+  // Lemma 4.3: pre(L_ω) ⊆ pre(L_ω ∩ P). A word w is in pre(L_ω) iff a run
+  // of w ends in a live system state, and in pre(L_ω ∩ P) iff a run ends in
+  // a live product state. Pruning both subset simulations to live states is
+  // exact (dead states never reach live ones), so the inclusion fails iff
+  // some reachable pair has a non-empty system subset and an empty product
+  // subset — found by BFS over the (finite) pairs of subsets.
+  const DynBitset sys_live = buchi_live(system);
+  const GenProduct prod = explicit_product({&system, &property}, max_states);
+  const DynBitset prod_live = gen_live(prod);
+
+  using Pair = std::pair<DynBitset, DynBitset>;
+  const Pair start{pruned_initial(system.structure(), sys_live),
+                   pruned_initial(prod.structure, prod_live)};
+  if (start.first.none()) return true;  // pre(L_ω) = ∅: vacuously included
+  if (start.second.none()) return false;
+
+  std::set<Pair> seen{start};
+  std::vector<Pair> work{start};
+  const std::size_t num_symbols = system.alphabet()->size();
+  while (!work.empty()) {
+    const Pair cur = std::move(work.back());
+    work.pop_back();
+    for (Symbol a = 0; a < num_symbols; ++a) {
+      Pair next{pruned_step(system.structure(), cur.first, a, sys_live),
+                pruned_step(prod.structure, cur.second, a, prod_live)};
+      if (next.first.none()) continue;  // word left pre(L_ω): no constraint
+      if (next.second.none()) return false;
+      if (seen.insert(next).second) {
+        if (seen.size() > max_states) {
+          throw std::runtime_error(
+              "oracle_relative_liveness: subset-pair cap exceeded");
+        }
+        work.push_back(std::move(next));
+      }
+    }
+  }
+  return true;
+}
+
+bool oracle_relative_liveness(const Buchi& system, Formula f,
+                              const Labeling& lambda, std::size_t max_states) {
+  const Buchi property = translate_ltl(f, lambda);
+  return oracle_relative_liveness(system, property, max_states);
+}
+
+bool oracle_relative_safety(const Buchi& system, const Buchi& property,
+                            const Buchi& negated_property,
+                            std::size_t max_states) {
+  require_same_alphabet(system.alphabet(), property.alphabet(),
+                        "oracle_relative_safety");
+  require_same_alphabet(system.alphabet(), negated_property.alphabet(),
+                        "oracle_relative_safety");
+  // Lemma 4.4: RS ⟺ L_ω ∩ lim(pre(L_ω ∩ P)) ∩ ¬P = ∅. lim(pre(L)) of the
+  // prefix-closed pre(L_ω ∩ P) is recognized by the deterministic
+  // all-accepting safety automaton D obtained by subset construction over
+  // the live states of product(system, P): an ω-word is in the limit iff
+  // its deterministic run never dies.
+  const GenProduct prod = explicit_product({&system, &property}, max_states);
+  const DynBitset live = gen_live(prod);
+  const DynBitset init = pruned_initial(prod.structure, live);
+  if (init.none()) return true;  // lim(pre(L_ω ∩ P)) = ∅
+
+  Nfa det(system.alphabet());
+  std::map<DynBitset, State> index;
+  std::vector<DynBitset> subsets;
+  std::vector<State> work;
+  const auto intern = [&](const DynBitset& subset) {
+    auto [it, fresh] = index.try_emplace(subset, kNoState);
+    if (fresh) {
+      if (subsets.size() >= max_states) {
+        throw std::runtime_error("oracle_relative_safety: subset cap exceeded");
+      }
+      it->second = det.add_state(true);
+      subsets.push_back(subset);
+      work.push_back(it->second);
+    }
+    return it->second;
+  };
+  det.set_initial(intern(init));
+  const std::size_t num_symbols = system.alphabet()->size();
+  while (!work.empty()) {
+    const State s = work.back();
+    work.pop_back();
+    for (Symbol a = 0; a < num_symbols; ++a) {
+      const DynBitset next = pruned_step(prod.structure, subsets[s], a, live);
+      if (next.none()) continue;  // run dies: word leaves the limit
+      det.add_transition(s, a, intern(next));
+    }
+  }
+
+  const Buchi closure = Buchi::from_structure(std::move(det));
+  return !gen_nonempty(
+      explicit_product({&system, &closure, &negated_property}, max_states));
+}
+
+bool oracle_relative_safety(const Buchi& system, Formula f,
+                            const Labeling& lambda, std::size_t max_states) {
+  const Buchi property = translate_ltl(f, lambda);
+  const Buchi negated = translate_ltl_negated(f, lambda);
+  return oracle_relative_safety(system, property, negated, max_states);
+}
+
+}  // namespace rlv::cert

@@ -1,0 +1,74 @@
+#pragma once
+
+// Brute-force reference decider for relative liveness, relative safety, and
+// classical satisfaction on SMALL instances. Everything here is built from
+// the dumb primitives of cert/certificate.hpp — explicit product
+// materialization, Tarjan SCC live-state marking, and plain subset
+// construction — and shares no code with the optimized kernels
+// (lang/inclusion antichains, on-the-fly products, nested-DFS emptiness,
+// rank-based complementation). The differential fuzz harness
+// (tools/rlv_fuzz.cpp) compares the kernels against this oracle on random
+// instances; a disagreement is a bug in one of the two, and the certificate
+// checker usually tells you which.
+//
+// Decision procedures (same characterizations, naive realizations):
+//
+//   satisfaction   L_ω ⊆ P       ⟺  product(system, ¬P) has no accepting
+//                                    SCC reachable from an initial state;
+//   rel. liveness  (Lemma 4.3)    ⟺  no word reaches a live system state
+//                                    set while the (live-pruned) product
+//                                    state set has died — searched over
+//                                    pairs of determinized subsets;
+//   rel. safety    (Lemma 4.4)    ⟺  product(system, D, ¬P) empty, where D
+//                                    is the deterministic all-accepting
+//                                    safety automaton for lim(pre(L_ω ∩ P))
+//                                    built by subset construction over the
+//                                    live states of product(system, P).
+//
+// The automaton flavors take ¬P as an explicit operand (complementation is
+// itself an optimized kernel; the caller chooses how to obtain ¬P). The
+// formula flavors derive P and ¬P via translate_ltl / translate_ltl_negated
+// — translating f and ¬f independently, so a translation bug shows up as a
+// kernel/oracle mismatch instead of cancelling out.
+//
+// All entry points throw std::runtime_error when an internal construction
+// exceeds `max_states` — the oracle is exponential by design and must only
+// be pointed at small instances.
+
+#include <cstddef>
+
+#include "rlv/cert/certificate.hpp"
+#include "rlv/ltl/ast.hpp"
+#include "rlv/omega/buchi.hpp"
+
+namespace rlv::cert {
+
+inline constexpr std::size_t kOracleDefaultMaxStates = std::size_t{1} << 18;
+
+/// L_ω(system) ⊆ P, with ¬P given as `negated_property`.
+[[nodiscard]] bool oracle_satisfies(
+    const Buchi& system, const Buchi& negated_property,
+    std::size_t max_states = kOracleDefaultMaxStates);
+[[nodiscard]] bool oracle_satisfies(
+    const Buchi& system, Formula f, const Labeling& lambda,
+    std::size_t max_states = kOracleDefaultMaxStates);
+
+/// Is L_ω(property) a relative liveness property of L_ω(system)? (Def 4.1,
+/// decided per Lemma 4.3 by brute-force subset-pair search.)
+[[nodiscard]] bool oracle_relative_liveness(
+    const Buchi& system, const Buchi& property,
+    std::size_t max_states = kOracleDefaultMaxStates);
+[[nodiscard]] bool oracle_relative_liveness(
+    const Buchi& system, Formula f, const Labeling& lambda,
+    std::size_t max_states = kOracleDefaultMaxStates);
+
+/// Is L_ω(property) a relative safety property of L_ω(system)? (Def 4.2,
+/// decided per Lemma 4.4; ¬P given as `negated_property`.)
+[[nodiscard]] bool oracle_relative_safety(
+    const Buchi& system, const Buchi& property, const Buchi& negated_property,
+    std::size_t max_states = kOracleDefaultMaxStates);
+[[nodiscard]] bool oracle_relative_safety(
+    const Buchi& system, Formula f, const Labeling& lambda,
+    std::size_t max_states = kOracleDefaultMaxStates);
+
+}  // namespace rlv::cert

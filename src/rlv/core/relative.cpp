@@ -111,7 +111,9 @@ SatisfactionResult satisfies(const Buchi& system, const Buchi& property,
   SatisfactionResult result;
   try {
     const Buchi complement = complement_buchi(property, budget);
-    result.holds = product_empty({&system, &complement}, budget);
+    auto lasso = find_accepting_lasso_product({&system, &complement}, budget);
+    result.holds = !lasso.has_value();
+    result.counterexample = std::move(lasso);
   } catch (const ResourceExhausted& e) {
     result.exhausted = e.stage();
   }
@@ -123,7 +125,9 @@ SatisfactionResult satisfies(const Buchi& system, Formula f,
   SatisfactionResult result;
   try {
     const Buchi negated = translate_ltl_negated(f, lambda, budget);
-    result.holds = product_empty({&system, &negated}, budget);
+    auto lasso = find_accepting_lasso_product({&system, &negated}, budget);
+    result.holds = !lasso.has_value();
+    result.counterexample = std::move(lasso);
   } catch (const ResourceExhausted& e) {
     result.exhausted = e.stage();
   }

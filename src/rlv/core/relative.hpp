@@ -84,13 +84,16 @@ struct RelativeSafetyResult {
 
 struct SatisfactionResult {
   bool holds = false;
+  /// When violated: a behavior x ∈ L_ω with x ∉ P.
+  std::optional<Lasso> counterexample;
   /// Set when the budget tripped; `holds` is then meaningless.
   std::optional<Stage> exhausted;
 };
 
 /// Classical satisfaction L_ω(system) ⊆ P (Definition 3.2), decided as
-/// on-the-fly emptiness of L_ω(system) ∩ ¬P. Like the relative_* functions,
-/// a budget trip is reported through `exhausted`, never thrown.
+/// on-the-fly emptiness of L_ω(system) ∩ ¬P; a violation ships the accepted
+/// lasso of that product as the counterexample. Like the relative_*
+/// functions, a budget trip is reported through `exhausted`, never thrown.
 [[nodiscard]] SatisfactionResult satisfies(const Buchi& system,
                                            const Buchi& property,
                                            Budget* budget = nullptr);

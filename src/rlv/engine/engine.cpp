@@ -5,7 +5,9 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 
+#include "rlv/cert/certificate.hpp"
 #include "rlv/engine/fingerprint.hpp"
 #include "rlv/engine/thread_pool.hpp"
 #include "rlv/fair/fair_check.hpp"
@@ -156,6 +158,8 @@ struct Engine::Impl {
   MemoCache<VerdictKey, Verdict, VerdictKeyHash> verdicts;
   ThreadPool pool;
   std::atomic<std::uint64_t> queries_run{0};
+  std::atomic<std::uint64_t> certificates_checked{0};
+  std::atomic<std::uint64_t> certificates_failed{0};
   mutable std::mutex profile_mutex;
   QueryProfile profile_totals;
 
@@ -268,8 +272,10 @@ struct Engine::Impl {
       }
       case CheckKind::kSatisfaction: {
         const auto negated_aut = negated();
-        verdict.holds =
-            product_empty({behaviors_aut.get(), negated_aut.get()}, budget);
+        auto lasso = find_accepting_lasso_product(
+            {behaviors_aut.get(), negated_aut.get()}, budget);
+        verdict.holds = !lasso.has_value();
+        verdict.counterexample = std::move(lasso);
         break;
       }
       case CheckKind::kFairStrong:
@@ -283,6 +289,60 @@ struct Engine::Impl {
         verdict.holds = res.all_fair_runs_satisfy;
         verdict.counterexample = res.counterexample;
         break;
+      }
+    }
+
+    // With certify_verdicts: re-check the negative verdict's witness with
+    // the independent certificate checker before the verdict can enter the
+    // cache. A rejected witness throws — run_one reports it through
+    // Verdict::error and get_or_compute drops the cache entry, so a bad
+    // witness is never served to anyone.
+    if (options.certify_verdicts && !verdict.holds) {
+      StageScope scope(budget, Stage::kOther);
+      certificates_checked.fetch_add(1, std::memory_order_relaxed);
+      cert::Validation validation;
+      switch (query.kind) {
+        case CheckKind::kRelativeLiveness:
+          if (!verdict.violating_prefix) {
+            validation = {false, true, "missing violating prefix"};
+          } else {
+            validation = cert::check_doomed_prefix(*verdict.violating_prefix,
+                                                   *behaviors_aut, *positive());
+          }
+          break;
+        case CheckKind::kRelativeSafety:
+          if (!verdict.counterexample) {
+            validation = {false, true, "missing counterexample lasso"};
+          } else if (prop) {
+            validation = cert::check_safety_lasso(
+                *verdict.counterexample, *behaviors_aut, prop->automaton);
+          } else {
+            validation = cert::check_safety_lasso(
+                *verdict.counterexample, *behaviors_aut, *positive(), *f,
+                lambda);
+          }
+          break;
+        case CheckKind::kSatisfaction:
+        case CheckKind::kFairStrong:
+        case CheckKind::kFairWeak:
+          // Fairness counterexamples get the partial check (membership and
+          // property violation); the fairness of the run is not re-derived.
+          if (!verdict.counterexample) {
+            validation = {false, true, "missing counterexample lasso"};
+          } else if (prop) {
+            validation = cert::check_violation_lasso(
+                *verdict.counterexample, *behaviors_aut, prop->automaton);
+          } else {
+            validation = cert::check_violation_lasso(*verdict.counterexample,
+                                                     *behaviors_aut, *f,
+                                                     lambda);
+          }
+          break;
+      }
+      if (!validation.valid) {
+        certificates_failed.fetch_add(1, std::memory_order_relaxed);
+        throw std::runtime_error("certificate validation failed: " +
+                                 validation.reason);
       }
     }
     return verdict;
@@ -373,6 +433,10 @@ EngineStats Engine::stats() const {
   stats.properties = impl_->properties.counters();
   stats.verdicts = impl_->verdicts.counters();
   stats.queries_run = impl_->queries_run.load(std::memory_order_relaxed);
+  stats.certificates_checked =
+      impl_->certificates_checked.load(std::memory_order_relaxed);
+  stats.certificates_failed =
+      impl_->certificates_failed.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(impl_->profile_mutex);
     stats.stages = impl_->profile_totals;

@@ -64,6 +64,15 @@ struct EngineOptions {
   /// short-lived threads rather than borrowing the engine pool, so nested
   /// waiting cannot deadlock the batch.
   std::size_t intra_query_threads = 1;
+  /// Re-check every negative verdict's witness with the independent
+  /// certificate checker (rlv/cert/certificate.hpp) BEFORE the verdict
+  /// enters the cache. A rejected witness is reported through
+  /// Verdict::error and never cached; EngineStats counts the validations
+  /// (certificates_checked / certificates_failed). Fairness counterexamples
+  /// get a partial check (system membership + property violation — the
+  /// fairness of the run itself is not re-established). Costs one explicit
+  /// product per certified rs/rl verdict; see docs/usage.md §11.
+  bool certify_verdicts = false;
 };
 
 class Engine {

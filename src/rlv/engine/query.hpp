@@ -100,6 +100,12 @@ struct EngineStats {
   CacheCounters properties;    // (automaton text, alphabet) → remapped Büchi
   CacheCounters verdicts;      // (system, property, kind, algo) → Verdict
   std::uint64_t queries_run = 0;
+  /// Certificate validations performed on negative verdicts before caching
+  /// (EngineOptions::certify_verdicts). A nonzero `certificates_failed`
+  /// means a kernel produced a witness the independent checker rejected —
+  /// the corresponding verdicts were reported as errors, never cached.
+  std::uint64_t certificates_checked = 0;
+  std::uint64_t certificates_failed = 0;
   /// Sum of every executed query's per-stage profile.
   QueryProfile stages;
 

@@ -1,0 +1,87 @@
+#include "rlv/engine/record.hpp"
+
+#include <sstream>
+
+#include "rlv/io/format.hpp"
+
+namespace rlv {
+
+namespace {
+
+void append_word_array(std::ostream& out, const char* field,
+                       const Alphabet& sigma, const Word& w) {
+  out << ",\"" << field << "\":[";
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i > 0) out << ',';
+    out << '"' << json_escape(sigma.name(w[i])) << '"';
+  }
+  out << ']';
+}
+
+}  // namespace
+
+std::string render_stage_times(const QueryProfile& profile) {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const StageMetrics& m = profile.stages[i];
+    if (m.calls == 0 && m.nanos == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << stage_name(static_cast<Stage>(i))
+        << "\":" << static_cast<double>(m.nanos) / 1e6;
+  }
+  out << '}';
+  return out.str();
+}
+
+std::string render_query_record(std::size_t id, const Query& query,
+                                const Verdict& v,
+                                const std::string& system_label,
+                                const std::string& property_label,
+                                const CacheCounters& cache) {
+  std::ostringstream out;
+  out << "{\"id\":" << id << ",\"system\":\"" << json_escape(system_label)
+      << "\",\"check\":\"" << check_kind_name(query.kind) << '"';
+  if (!property_label.empty()) {
+    out << ",\"property\":\"" << json_escape(property_label) << '"';
+  } else {
+    out << ",\"formula\":\"" << json_escape(query.formula) << '"';
+  }
+  out << ",\"ok\":" << (v.ok() ? "true" : "false");
+  if (v.ok()) {
+    out << ",\"holds\":" << (v.holds ? "true" : "false");
+    // Witness symbols are ids over the system's alphabet; reparse the
+    // (small) system text to render them as action names.
+    if (v.violating_prefix) {
+      const Nfa system = parse_system(query.system);
+      const Alphabet& sigma = *system.alphabet();
+      out << ",\"witness\":\""
+          << json_escape(sigma.format(*v.violating_prefix)) << '"';
+      append_word_array(out, "witness_prefix", sigma, *v.violating_prefix);
+    } else if (v.counterexample) {
+      const Nfa system = parse_system(query.system);
+      const Alphabet& sigma = *system.alphabet();
+      out << ",\"witness\":\""
+          << json_escape(sigma.format(v.counterexample->prefix) + " (" +
+                         sigma.format(v.counterexample->period) + ")^w")
+          << '"';
+      append_word_array(out, "witness_prefix", sigma,
+                        v.counterexample->prefix);
+      append_word_array(out, "witness_period", sigma,
+                        v.counterexample->period);
+    }
+  } else if (v.resource_exhausted) {
+    out << ",\"resource_exhausted\":true,\"stage\":\""
+        << json_escape(v.exhausted_stage) << '"';
+  } else {
+    out << ",\"error\":\"" << json_escape(v.error) << '"';
+  }
+  out << ",\"ms\":" << v.millis << ",\"stages\":" << render_stage_times(v.profile)
+      << ",\"cache\":{\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
+      << ",\"evictions\":" << cache.evictions << "}}";
+  return out.str();
+}
+
+}  // namespace rlv

@@ -1,0 +1,42 @@
+#pragma once
+
+// JSON rendering of per-query result records — the line-oriented output
+// format of the rlvd front end, factored out so tests can round-trip a
+// record (render → re-parse → re-validate the witness) without spawning
+// the tool. One record per query:
+//
+//   {"id":0,"system":"fig2.rlv","check":"rl","formula":"G F result",
+//    "ok":true,"holds":false,
+//    "witness":"req.req",                       // human-readable
+//    "witness_prefix":["req","req"],            // machine-readable
+//    "ms":0.42,"stages":{...},"cache":{...}}
+//
+// Lasso witnesses (rs/sat/fair) additionally carry "witness_period". The
+// structured arrays list one ESCAPED action name per symbol — unlike the
+// dot-joined "witness" string they are unambiguous even when action names
+// contain dots, quotes, or backslashes, so they are what certificate
+// round-trips should consume.
+
+#include <cstddef>
+#include <string>
+
+#include "rlv/engine/query.hpp"
+
+namespace rlv {
+
+/// {"parse":0.01,...} — exclusive milliseconds of every stage that ran.
+[[nodiscard]] std::string render_stage_times(const QueryProfile& profile);
+
+/// Renders one rlvd result record. `system_label` / `property_label` are
+/// presentation strings (the paths from the batch file; property empty for
+/// the formula flavor). Witness symbols are rendered as action names by
+/// reparsing the (small) system text of `query`. `cache` is the engine-wide
+/// cumulative counter snapshot to embed.
+[[nodiscard]] std::string render_query_record(std::size_t id,
+                                              const Query& query,
+                                              const Verdict& verdict,
+                                              const std::string& system_label,
+                                              const std::string& property_label,
+                                              const CacheCounters& cache);
+
+}  // namespace rlv

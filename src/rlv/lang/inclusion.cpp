@@ -364,7 +364,23 @@ InclusionResult check_inclusion(const Nfa& a, const Nfa& b,
   if (threads > 1) {
     ParallelInclusion search(
         a, b, algorithm == InclusionAlgorithm::kAntichain, threads, budget);
-    return search.run();
+    InclusionResult result = search.run();
+    if (!result.included) {
+      // The parallel witness is assembled from racy parent-pointer chains
+      // ("revalidate, don't compare"): confirm it is a genuine member of
+      // L(a) \ L(b) by direct subset simulation before handing it out. A
+      // failed revalidation falls back to the sequential search, whose BFS
+      // witness is canonical — the boolean verdict is unaffected either way.
+      const bool witness_ok = result.counterexample.has_value() &&
+                              a.accepts(*result.counterexample) &&
+                              !b.accepts(*result.counterexample);
+      if (!witness_ok) {
+        return algorithm == InclusionAlgorithm::kSubset
+                   ? subset_inclusion(a, b, budget)
+                   : antichain_inclusion(a, b, budget);
+      }
+    }
+    return result;
   }
   switch (algorithm) {
     case InclusionAlgorithm::kSubset:

@@ -22,9 +22,13 @@
 // shared side, insertions re-check under the exclusive side). The boolean
 // verdict is identical to the sequential search — subsumption pruning is
 // confluent, so exploration order cannot change whether a counterexample
-// exists — but a found counterexample word depends on the interleaving: it
-// is always a genuine member of L(a) \ L(b) (revalidate, don't
-// byte-compare). The sequential search (threads <= 1) additionally
+// exists — but a found counterexample word depends on the interleaving.
+// check_inclusion therefore REVALIDATES every parallel counterexample by
+// direct subset simulation (a.accepts(w) && !b.accepts(w)) before returning
+// it, falling back to the sequential search if the racy witness assembly
+// produced a bogus word; callers always receive a genuine member of
+// L(a) \ L(b), though not a canonical one (revalidate, don't byte-compare
+// when cross-checking). The sequential search (threads <= 1) additionally
 // guarantees a *shortest* counterexample (BFS order). Witness bookkeeping
 // uses shared parent-pointer chains in both modes, so memory stays
 // O(configurations) instead of O(configurations × depth).

@@ -1,6 +1,6 @@
 #include "rlv/omega/lasso.hpp"
 
-#include <cassert>
+#include <stdexcept>
 #include <vector>
 
 #include "rlv/util/scc.hpp"
@@ -8,7 +8,11 @@
 namespace rlv {
 
 bool accepts_lasso(const Buchi& a, const Word& u, const Word& v) {
-  assert(!v.empty());
+  if (v.empty()) {
+    // An assert would vanish under NDEBUG and silently answer membership of
+    // a finite word as if it were an ω-word.
+    throw std::invalid_argument("accepts_lasso: period must be non-empty");
+  }
   const std::size_t n = a.num_states();
 
   // States reachable after reading u (over all runs).
@@ -97,10 +101,15 @@ bool accepts_lasso(const Buchi& a, const Word& u, const Word& v) {
 }
 
 bool accepts_lasso_gen(const GenBuchi& a, const Word& u, const Word& v) {
-  assert(!v.empty());
+  if (v.empty()) {
+    throw std::invalid_argument("accepts_lasso_gen: period must be non-empty");
+  }
   const std::size_t n = a.structure.num_states();
   const std::size_t k = a.sets.size();
-  assert(k <= 16 && "mask-based membership supports up to 16 sets");
+  if (k > 16) {
+    throw std::invalid_argument(
+        "accepts_lasso_gen: mask-based membership supports up to 16 sets");
+  }
   const std::uint32_t full = (k == 0) ? 0 : ((1u << k) - 1);
 
   const DynBitset after_u = a.structure.run(u);

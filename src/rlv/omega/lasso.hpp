@@ -10,7 +10,8 @@
 
 namespace rlv {
 
-/// True when the automaton accepts u·v^ω. `v` must be non-empty.
+/// True when the automaton accepts u·v^ω. Throws std::invalid_argument when
+/// `v` is empty (u·v^ω would not be an ω-word).
 [[nodiscard]] bool accepts_lasso(const Buchi& a, const Word& u, const Word& v);
 
 [[nodiscard]] inline bool accepts_lasso(const Buchi& a, const Lasso& lasso) {

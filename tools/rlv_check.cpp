@@ -22,15 +22,22 @@
 //   --property-aut <f>  property given as a Büchi automaton file instead of
 //                       --ltl (relative safety then uses rank-based
 //                       complementation — exponential, keep it small)
-//   --explain           annotate counterexample lassos with the state sets
-//                       they traverse
+//   --explain           annotate witnesses with the state sets they
+//                       traverse: the counterexample lassos of rs/sat and
+//                       the violating prefix of rl
 //   --threads N         run the relative-liveness inclusion search on N
 //                       threads (verdict unchanged; a violating prefix may
 //                       differ from the sequential one but is always valid)
+//   --certify           re-check the witness of a negative rl/rs/sat verdict
+//                       with the independent certificate checker
+//                       (rlv/cert/certificate.hpp) and print the outcome; an
+//                       INVALID certificate exits 2 — the verdict cannot be
+//                       trusted
 //   --dot               print the system in GraphViz format and exit
 //
 // Exit status: 0 = property verdict positive, 1 = negative, 2 = usage or
-// input error, 3 = no sound conclusion (abstraction pipeline, non-simple).
+// input error (including a failed --certify), 3 = no sound conclusion
+// (abstraction pipeline, non-simple).
 
 #include <cctype>
 #include <cstdio>
@@ -38,6 +45,7 @@
 #include <cstring>
 #include <string>
 
+#include "rlv/cert/certificate.hpp"
 #include "rlv/core/fair_synthesis.hpp"
 #include "rlv/core/monitor.hpp"
 #include "rlv/core/preservation.hpp"
@@ -59,9 +67,27 @@ int usage() {
                "usage: rlv_check <system-file> --ltl \"<formula>\"\n"
                "       [--check rl|rs|sat|fair|fairweak|synth|doom]\n"
                "       [--trace \"<a b c>\"] [--hom <file>]\n"
-               "       [--property-aut <file>] [--explain] [--threads N]"
-               " [--dot]\n");
+               "       [--property-aut <file>] [--explain] [--threads N]\n"
+               "       [--certify] [--dot]\n"
+               "  --explain annotates rl doomed prefixes and rs/sat lassos\n"
+               "  --certify re-checks negative rl/rs/sat witnesses with the\n"
+               "            independent certificate checker (INVALID exits 2)\n");
   return 2;
+}
+
+/// Prints the validation outcome; returns the process exit code to use in
+/// place of `verdict_code` (2 when the certificate failed).
+int report_certificate(const cert::Validation& validation, int verdict_code) {
+  if (!validation.valid) {
+    std::printf("certificate: INVALID (%s)\n", validation.reason.c_str());
+    return 2;
+  }
+  if (validation.checked) {
+    std::printf("certificate: VALID\n");
+  } else {
+    std::printf("certificate: not checked (%s)\n", validation.reason.c_str());
+  }
+  return verdict_code;
 }
 
 void print_lasso(const char* label, const Lasso& lasso,
@@ -82,6 +108,7 @@ int main(int argc, char** argv) {
   std::string property_path;
   bool dot = false;
   bool explain = false;
+  bool certify = false;
   std::size_t threads = 1;
 
   for (int i = 2; i < argc; ++i) {
@@ -98,6 +125,8 @@ int main(int argc, char** argv) {
       property_path = argv[++i];
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--certify") {
+      certify = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       const int n = std::atoi(argv[++i]);
       if (n <= 0) return usage();
@@ -132,8 +161,17 @@ int main(int argc, char** argv) {
         if (res.violating_prefix) {
           std::printf("doomed prefix: %s\n",
                       system.alphabet()->format(*res.violating_prefix).c_str());
+          if (explain) {
+            std::fputs(explain_word(system, *res.violating_prefix).c_str(),
+                       stdout);
+          }
         }
-        return res.holds ? 0 : 1;
+        int code = res.holds ? 0 : 1;
+        if (certify) {
+          code = report_certificate(cert::validate(res, behaviors, property),
+                                    code);
+        }
+        return code;
       }
       if (mode == "rs") {
         const auto res = relative_safety(behaviors, property);
@@ -148,12 +186,32 @@ int main(int argc, char** argv) {
                        stdout);
           }
         }
-        return res.holds ? 0 : 1;
+        int code = res.holds ? 0 : 1;
+        if (certify) {
+          code = report_certificate(cert::validate(res, behaviors, property),
+                                    code);
+        }
+        return code;
       }
       if (mode == "sat") {
-        const bool ok = satisfies(behaviors, property).holds;
-        std::printf("satisfaction: %s\n", ok ? "HOLDS" : "FAILS");
-        return ok ? 0 : 1;
+        const auto res = satisfies(behaviors, property);
+        std::printf("satisfaction: %s\n", res.holds ? "HOLDS" : "FAILS");
+        if (res.counterexample) {
+          print_lasso("violating behavior", *res.counterexample,
+                      system.alphabet());
+          if (explain) {
+            std::fputs(explain_lasso(system, res.counterexample->prefix,
+                                     res.counterexample->period)
+                           .c_str(),
+                       stdout);
+          }
+        }
+        int code = res.holds ? 0 : 1;
+        if (certify) {
+          code = report_certificate(cert::validate(res, behaviors, property),
+                                    code);
+        }
+        return code;
       }
       return usage();
     }
@@ -197,8 +255,17 @@ int main(int argc, char** argv) {
       if (res.violating_prefix) {
         std::printf("doomed prefix: %s\n",
                     system.alphabet()->format(*res.violating_prefix).c_str());
+        if (explain) {
+          std::fputs(explain_word(system, *res.violating_prefix).c_str(),
+                     stdout);
+        }
       }
-      return res.holds ? 0 : 1;
+      int code = res.holds ? 0 : 1;
+      if (certify) {
+        code = report_certificate(
+            cert::validate(res, behaviors, formula, lambda), code);
+      }
+      return code;
     }
     if (mode == "rs") {
       const auto res = relative_safety(behaviors, formula, lambda);
@@ -212,12 +279,32 @@ int main(int argc, char** argv) {
                      stdout);
         }
       }
-      return res.holds ? 0 : 1;
+      int code = res.holds ? 0 : 1;
+      if (certify) {
+        code = report_certificate(
+            cert::validate(res, behaviors, formula, lambda), code);
+      }
+      return code;
     }
     if (mode == "sat") {
-      const bool ok = satisfies(behaviors, formula, lambda).holds;
-      std::printf("satisfaction: %s\n", ok ? "HOLDS" : "FAILS");
-      return ok ? 0 : 1;
+      const auto res = satisfies(behaviors, formula, lambda);
+      std::printf("satisfaction: %s\n", res.holds ? "HOLDS" : "FAILS");
+      if (res.counterexample) {
+        print_lasso("violating behavior", *res.counterexample,
+                    system.alphabet());
+        if (explain) {
+          std::fputs(explain_lasso(system, res.counterexample->prefix,
+                                   res.counterexample->period)
+                         .c_str(),
+                     stdout);
+        }
+      }
+      int code = res.holds ? 0 : 1;
+      if (certify) {
+        code = report_certificate(
+            cert::validate(res, behaviors, formula, lambda), code);
+      }
+      return code;
     }
     if (mode == "fair" || mode == "fairweak") {
       const FairnessKind kind = (mode == "fair")

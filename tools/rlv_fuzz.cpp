@@ -1,0 +1,223 @@
+// rlv_fuzz — differential fuzz harness for the decision kernels.
+//
+// Drives rlv::gen random transition systems and PLTL formulas through every
+// kernel configuration and cross-checks:
+//
+//   * kernel vs oracle   — relative liveness / relative safety /
+//                          satisfaction against the brute-force
+//                          explicit-product decider (rlv/cert/oracle.hpp);
+//   * subset vs antichain— both inclusion algorithms on the Lemma 4.3 check;
+//   * sequential vs parallel — the sharded inclusion search must agree with
+//                          the sequential one (and its schedule-dependent
+//                          witness must certify);
+//   * Thm 4.7 identity   — satisfies ⟺ relative liveness ∧ relative safety;
+//   * certificates       — every negative verdict's witness is re-checked
+//                          with the independent validator
+//                          (rlv/cert/certificate.hpp).
+//
+// Any mismatch prints a self-contained repro (seed, instance number, system
+// text, formula) and exits 1. Deterministic for a fixed seed.
+//
+// Options:
+//   --seed N       base seed (default 1)
+//   --instances N  number of random instances (default 1000)
+//   --states N     max system states (default 6, min 2)
+//   --alphabet N   max alphabet size (default 3, min 2)
+//   --depth N      max formula operator depth (default 3)
+//   --threads N    worker count for the parallel inclusion leg (default 3)
+//   --verbose      print a line per instance
+//
+// Exit status: 0 = all instances agree, 1 = mismatch found, 2 = bad usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rlv/cert/certificate.hpp"
+#include "rlv/cert/oracle.hpp"
+#include "rlv/core/relative.hpp"
+#include "rlv/gen/random.hpp"
+#include "rlv/io/format.hpp"
+#include "rlv/omega/limit.hpp"
+#include "rlv/util/rng.hpp"
+
+namespace {
+
+using namespace rlv;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rlv_fuzz [--seed N] [--instances N] [--states N]"
+               " [--alphabet N] [--depth N] [--threads N] [--verbose]\n");
+  return 2;
+}
+
+struct Repro {
+  std::uint64_t seed;
+  std::size_t instance;
+  const Nfa* system;
+  std::string formula;
+};
+
+void print_repro(const Repro& r, const std::string& what) {
+  std::fprintf(stderr, "rlv_fuzz: MISMATCH at instance %zu (seed %llu): %s\n",
+               r.instance, static_cast<unsigned long long>(r.seed),
+               what.c_str());
+  std::fprintf(stderr, "formula: %s\nsystem:\n%s", r.formula.c_str(),
+               serialize_system(*r.system).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  std::size_t instances = 1000;
+  std::size_t max_states = 6;
+  std::size_t max_alphabet = 3;
+  std::size_t max_depth = 3;
+  std::size_t threads = 3;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_num = [&](std::size_t min_value) -> long long {
+      if (i + 1 >= argc) return -1;
+      const long long n = std::atoll(argv[++i]);
+      return n >= static_cast<long long>(min_value) ? n : -1;
+    };
+    if (arg == "--seed") {
+      const long long n = next_num(0);
+      if (n < 0) return usage();
+      seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--instances") {
+      const long long n = next_num(1);
+      if (n < 0) return usage();
+      instances = static_cast<std::size_t>(n);
+    } else if (arg == "--states") {
+      const long long n = next_num(2);
+      if (n < 0) return usage();
+      max_states = static_cast<std::size_t>(n);
+    } else if (arg == "--alphabet") {
+      const long long n = next_num(2);
+      if (n < 0) return usage();
+      max_alphabet = static_cast<std::size_t>(n);
+    } else if (arg == "--depth") {
+      const long long n = next_num(1);
+      if (n < 0) return usage();
+      max_depth = static_cast<std::size_t>(n);
+    } else if (arg == "--threads") {
+      const long long n = next_num(1);
+      if (n < 0) return usage();
+      threads = static_cast<std::size_t>(n);
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      return usage();
+    }
+  }
+
+  Rng rng(seed);
+  std::size_t certificates = 0;
+  std::size_t negatives = 0;
+
+  for (std::size_t instance = 0; instance < instances; ++instance) {
+    const std::size_t sigma_size = 2 + rng.next_below(max_alphabet - 1);
+    const AlphabetRef sigma = random_alphabet(sigma_size);
+    const std::size_t states = 2 + rng.next_below(max_states - 1);
+    const Nfa system = random_transition_system(rng, states, sigma);
+    std::vector<std::string> atoms;
+    for (Symbol s = 0; s < sigma->size(); ++s) atoms.push_back(sigma->name(s));
+    const Formula formula = random_formula(rng, atoms, max_depth);
+    const Labeling lambda = Labeling::canonical(sigma);
+    const Buchi behaviors = limit_of_prefix_closed(system);
+
+    const Repro repro{seed, instance, &system, formula.to_string()};
+    const auto bail = [&](const std::string& what) {
+      print_repro(repro, what);
+      return 1;
+    };
+
+    try {
+      // Kernels: both inclusion algorithms, sequential and parallel.
+      const RelativeLivenessResult rl_anti = relative_liveness(
+          behaviors, formula, lambda, InclusionAlgorithm::kAntichain);
+      const RelativeLivenessResult rl_subset = relative_liveness(
+          behaviors, formula, lambda, InclusionAlgorithm::kSubset);
+      const RelativeLivenessResult rl_par =
+          relative_liveness(behaviors, formula, lambda,
+                            InclusionAlgorithm::kAntichain,
+                            /*budget=*/nullptr, threads);
+      const RelativeSafetyResult rs =
+          relative_safety(behaviors, formula, lambda);
+      const SatisfactionResult sat = satisfies(behaviors, formula, lambda);
+
+      // Brute-force oracle.
+      const bool orl = cert::oracle_relative_liveness(behaviors, formula,
+                                                      lambda);
+      const bool ors = cert::oracle_relative_safety(behaviors, formula,
+                                                    lambda);
+      const bool osat = cert::oracle_satisfies(behaviors, formula, lambda);
+
+      if (rl_anti.holds != rl_subset.holds) {
+        return bail("rl: antichain and subset disagree");
+      }
+      if (rl_anti.holds != rl_par.holds) {
+        return bail("rl: sequential and parallel disagree");
+      }
+      if (rl_anti.holds != orl) {
+        return bail(std::string("rl: kernel says ") +
+                    (rl_anti.holds ? "holds" : "fails") + ", oracle says " +
+                    (orl ? "holds" : "fails"));
+      }
+      if (rs.holds != ors) {
+        return bail(std::string("rs: kernel says ") +
+                    (rs.holds ? "holds" : "fails") + ", oracle says " +
+                    (ors ? "holds" : "fails"));
+      }
+      if (sat.holds != osat) {
+        return bail(std::string("sat: kernel says ") +
+                    (sat.holds ? "holds" : "fails") + ", oracle says " +
+                    (osat ? "holds" : "fails"));
+      }
+      // Theorem 4.7: satisfaction ⟺ relative liveness ∧ relative safety.
+      if (sat.holds != (rl_anti.holds && rs.holds)) {
+        return bail("Thm 4.7 identity violated: sat != (rl && rs)");
+      }
+
+      // Certificates: every negative verdict's witness must validate.
+      const RelativeLivenessResult* rls[] = {&rl_anti, &rl_subset, &rl_par};
+      const char* rl_names[] = {"rl/antichain", "rl/subset", "rl/parallel"};
+      for (std::size_t k = 0; k < 3; ++k) {
+        const cert::Validation v =
+            cert::validate(*rls[k], behaviors, formula, lambda);
+        if (v.checked) ++certificates;
+        if (!v.valid) {
+          return bail(std::string(rl_names[k]) + " certificate: " + v.reason);
+        }
+      }
+      for (const cert::Validation& v :
+           {cert::validate(rs, behaviors, formula, lambda),
+            cert::validate(sat, behaviors, formula, lambda)}) {
+        if (v.checked) ++certificates;
+        if (!v.valid) return bail("rs/sat certificate: " + v.reason);
+      }
+      if (!sat.holds) ++negatives;
+    } catch (const std::exception& e) {
+      return bail(std::string("exception: ") + e.what());
+    }
+
+    if (verbose) {
+      std::printf("instance %zu ok (%zu states, |Sigma|=%zu)\n", instance,
+                  states, sigma_size);
+    }
+  }
+
+  std::printf(
+      "rlv_fuzz: %zu instances ok (seed %llu): %zu sat violations, "
+      "%zu certificates validated, 0 mismatches\n",
+      instances, static_cast<unsigned long long>(seed), negatives,
+      certificates);
+  return 0;
+}

@@ -19,9 +19,14 @@
 // Result lines (one per query):
 //
 //   {"id":0,"system":"fig2.rlv","check":"rl","formula":"G F result",
-//    "ok":true,"holds":true,"witness":"...","ms":0.42,
+//    "ok":true,"holds":true,"witness":"...",
+//    "witness_prefix":["req"],"witness_period":["ack"],"ms":0.42,
 //    "stages":{"parse":0.01,"translate":0.2,...},
 //    "cache":{"hits":12,"misses":4,"evictions":0}}
+//
+// (see src/rlv/engine/record.hpp for the exact record shape — the
+// structured witness arrays are the machine-readable form certificate
+// round-trips should consume)
 //
 // A query that hits the --timeout-ms / --max-states budget reports
 // "ok":false,"resource_exhausted":true,"stage":"<tripping stage>" — its
@@ -38,6 +43,10 @@
 //   --max-states N  per-query constructed-state budget (default 0)
 //   --threads N     intra-query threads for the parallel inclusion search
 //                   (default 1: sequential; per-line --threads overrides)
+//   --certify       revalidate every negative verdict's witness with the
+//                   independent certificate checker before it is cached; a
+//                   rejected witness turns the record into "ok":false with
+//                   an "error" naming the failed certificate
 //   --metrics       emit an end-of-batch JSON metrics summary on stdout
 //
 // Exit status: 0 = every line executed (whatever the verdicts), 2 = bad
@@ -53,6 +62,7 @@
 #include <vector>
 
 #include "rlv/engine/engine.hpp"
+#include "rlv/engine/record.hpp"
 #include "rlv/io/format.hpp"
 
 namespace {
@@ -63,7 +73,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: rlvd [<batch-file>|-] [--jobs N] [--cache N] [--timeout-ms N]"
-      " [--max-states N] [--threads N] [--metrics]\n"
+      " [--max-states N] [--threads N] [--certify] [--metrics]\n"
       "  batch line: <system-file> [--check rl|rs|sat|fair|fairweak]"
       " [--algorithm subset|antichain] [--threads N]"
       " [--property-aut <file>] [<formula...>]\n");
@@ -147,21 +157,6 @@ std::optional<Request> parse_request_line(const std::string& line,
   return request;
 }
 
-/// {"parse":0.01,...} — exclusive milliseconds of every stage that ran.
-void print_stages(std::ostream& out, const QueryProfile& profile) {
-  out << '{';
-  bool first = true;
-  for (std::size_t i = 0; i < kNumStages; ++i) {
-    const StageMetrics& m = profile.stages[i];
-    if (m.calls == 0 && m.nanos == 0) continue;
-    if (!first) out << ',';
-    first = false;
-    out << '"' << stage_name(static_cast<Stage>(i))
-        << "\":" << static_cast<double>(m.nanos) / 1e6;
-  }
-  out << '}';
-}
-
 void print_counters(std::ostream& out, const char* name,
                     const CacheCounters& c) {
   out << '"' << name << "\":{\"hits\":" << c.hits
@@ -195,6 +190,8 @@ int main(int argc, char** argv) {
       options.intra_query_threads =
           static_cast<std::size_t>(std::atoi(argv[++i]));
       if (options.intra_query_threads == 0) return usage();
+    } else if (arg == "--certify") {
+      options.certify_verdicts = true;
     } else if (arg == "--metrics") {
       metrics = true;
     } else if (!have_path) {
@@ -244,49 +241,10 @@ int main(int argc, char** argv) {
 
   for (std::size_t i = 0; i < verdicts.size(); ++i) {
     const Request& request = requests[i];
-    const Verdict& v = verdicts[i];
-    const CacheCounters cache = engine.stats().total();
-    std::ostringstream out;
-    out << "{\"id\":" << i << ",\"system\":\""
-        << json_escape(request.system_path) << "\",\"check\":\""
-        << check_kind_name(request.query.kind) << '"';
-    if (!request.property_path.empty()) {
-      out << ",\"property\":\"" << json_escape(request.property_path) << '"';
-    } else {
-      out << ",\"formula\":\"" << json_escape(request.query.formula) << '"';
-    }
-    out << ",\"ok\":" << (v.ok() ? "true" : "false");
-    if (v.ok()) {
-      out << ",\"holds\":" << (v.holds ? "true" : "false");
-      // Witness symbols are ids over the system's alphabet; reparse the
-      // (small) system text to render them as action names.
-      if (v.violating_prefix) {
-        const Nfa system = parse_system(request.query.system);
-        out << ",\"witness\":\""
-            << json_escape(system.alphabet()->format(*v.violating_prefix))
-            << '"';
-      } else if (v.counterexample) {
-        const Nfa system = parse_system(request.query.system);
-        out << ",\"witness\":\""
-            << json_escape(
-                   system.alphabet()->format(v.counterexample->prefix) +
-                   " (" +
-                   system.alphabet()->format(v.counterexample->period) +
-                   ")^w")
-            << '"';
-      }
-    } else if (v.resource_exhausted) {
-      out << ",\"resource_exhausted\":true,\"stage\":\""
-          << json_escape(v.exhausted_stage) << '"';
-    } else {
-      out << ",\"error\":\"" << json_escape(v.error) << '"';
-    }
-    out << ",\"ms\":" << v.millis << ",\"stages\":";
-    print_stages(out, v.profile);
-    out << ",\"cache\":{";
-    out << "\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
-        << ",\"evictions\":" << cache.evictions << "}}";
-    std::puts(out.str().c_str());
+    const std::string record = render_query_record(
+        i, request.query, verdicts[i], request.system_path,
+        request.property_path, engine.stats().total());
+    std::puts(record.c_str());
   }
 
   const EngineStats stats = engine.stats();
@@ -297,8 +255,10 @@ int main(int argc, char** argv) {
     // rides the same pipe as the results.
     std::ostringstream m;
     m << "{\"metrics\":{\"queries\":" << stats.queries_run
-      << ",\"wall_ms\":" << batch_ms << ",\"stage_ms\":";
-    print_stages(m, stats.stages);
+      << ",\"certificates_checked\":" << stats.certificates_checked
+      << ",\"certificates_failed\":" << stats.certificates_failed
+      << ",\"wall_ms\":" << batch_ms
+      << ",\"stage_ms\":" << render_stage_times(stats.stages);
     m << ",\"stage_detail\":{";
     bool first = true;
     for (std::size_t i = 0; i < kNumStages; ++i) {
@@ -316,7 +276,9 @@ int main(int argc, char** argv) {
   }
 
   std::ostringstream summary;
-  summary << "{\"queries\":" << stats.queries_run << ',';
+  summary << "{\"queries\":" << stats.queries_run
+          << ",\"certificates_checked\":" << stats.certificates_checked
+          << ",\"certificates_failed\":" << stats.certificates_failed << ',';
   print_counters(summary, "systems", stats.systems);
   summary << ',';
   print_counters(summary, "behaviors", stats.behaviors);
