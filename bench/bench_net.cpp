@@ -1,0 +1,106 @@
+// Experiment E25 (serving overhead): the per-request cost the rlv::net
+// layer adds on top of the engine itself — request parsing (strict JSON →
+// Query), response parsing on the client side, and the render/parse round
+// trip of a full query request. These are the only wire-protocol costs on
+// the hot path: everything else (query execution) is the engine's E21.
+//
+//   BM_ParseRequest        — one realistic query line through parse_request
+//   BM_ParseRequestLarge   — a request embedding a ~19KB system text
+//   BM_RenderQueryRequest  — client-side serialization of the same query
+//   BM_ParseResponse       — a verdict record line through parse_response
+//   BM_RenderStats         — EngineStats → JSON (the `stats` op's body)
+//
+// Reported counter: requests_per_second (single-threaded). The serving
+// throughput measured end to end over sockets lives in EXPERIMENTS.md E25;
+// this benchmark isolates the protocol share of it.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "rlv/engine/engine.hpp"
+#include "rlv/engine/record.hpp"
+#include "rlv/gen/families.hpp"
+#include "rlv/io/format.hpp"
+#include "rlv/net/client.hpp"
+#include "rlv/net/protocol.hpp"
+
+namespace {
+
+using namespace rlv;
+
+Query sample_query(std::string system_text) {
+  Query query;
+  query.system = std::move(system_text);
+  query.formula = "G(request -> F(result || reject))";
+  query.kind = CheckKind::kRelativeSafety;
+  query.timeout_ms = 5000;
+  return query;
+}
+
+void report_rps(benchmark::State& state) {
+  state.counters["requests_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void BM_ParseRequest(benchmark::State& state) {
+  const std::string line = net::render_query_request(
+      sample_query(serialize_system(figure2_system())), 42, "fig2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_request(line));
+  }
+  report_rps(state);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(line.size()));
+}
+
+void BM_ParseRequestLarge(benchmark::State& state) {
+  const std::string line = net::render_query_request(
+      sample_query(serialize_system(token_ring(40))), 42, "ring40");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_request(line));
+  }
+  report_rps(state);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(line.size()));
+}
+
+void BM_RenderQueryRequest(benchmark::State& state) {
+  const Query query = sample_query(serialize_system(figure2_system()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::render_query_request(query, 42, "fig2"));
+  }
+  report_rps(state);
+}
+
+void BM_ParseResponse(benchmark::State& state) {
+  // A real verdict record, produced the same way the server renders one.
+  Engine engine;
+  const Query query = sample_query(serialize_system(figure2_system()));
+  const Verdict verdict = engine.run_one(query);
+  const std::string line = render_query_record(7, query, verdict, "fig2", "",
+                                               engine.stats().total());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_response(line));
+  }
+  report_rps(state);
+}
+
+void BM_RenderStats(benchmark::State& state) {
+  Engine engine;
+  const Query query = sample_query(serialize_system(figure2_system()));
+  (void)engine.run_one(query);
+  const EngineStats stats = engine.stats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render_stats(stats));
+  }
+  report_rps(state);
+}
+
+BENCHMARK(BM_ParseRequest);
+BENCHMARK(BM_ParseRequestLarge);
+BENCHMARK(BM_RenderQueryRequest);
+BENCHMARK(BM_ParseResponse);
+BENCHMARK(BM_RenderStats);
+
+}  // namespace

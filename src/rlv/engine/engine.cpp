@@ -292,12 +292,13 @@ struct Engine::Impl {
       }
     }
 
-    // With certify_verdicts: re-check the negative verdict's witness with
-    // the independent certificate checker before the verdict can enter the
-    // cache. A rejected witness throws — run_one reports it through
-    // Verdict::error and get_or_compute drops the cache entry, so a bad
-    // witness is never served to anyone.
-    if (options.certify_verdicts && !verdict.holds) {
+    // With certification on (engine-wide or requested by this query):
+    // re-check the negative verdict's witness with the independent
+    // certificate checker before the verdict can enter the cache. A
+    // rejected witness throws — run_one reports it through Verdict::error
+    // and get_or_compute drops the cache entry, so a bad witness is never
+    // served to anyone.
+    if ((options.certify_verdicts || query.certify) && !verdict.holds) {
       StageScope scope(budget, Stage::kOther);
       certificates_checked.fetch_add(1, std::memory_order_relaxed);
       cert::Validation validation;
@@ -352,14 +353,20 @@ struct Engine::Impl {
     const auto start = std::chrono::steady_clock::now();
     queries_run.fetch_add(1, std::memory_order_relaxed);
 
-    // One budget per query, armed from the engine options. Unarmed budgets
-    // never trip and only collect the per-stage profile, so budget-disabled
-    // verdicts are identical to pre-budget execution.
+    // One budget per query, armed from the engine options unless the query
+    // carries its own override (the serving path: client limits clamped to
+    // the server's caps). Unarmed budgets never trip and only collect the
+    // per-stage profile, so budget-disabled verdicts are identical to
+    // pre-budget execution.
     Budget budget;
-    if (options.timeout_ms > 0) {
-      budget.set_deadline_in(std::chrono::milliseconds(options.timeout_ms));
+    const std::uint64_t timeout_ms =
+        query.timeout_ms > 0 ? query.timeout_ms : options.timeout_ms;
+    if (timeout_ms > 0) {
+      budget.set_deadline_in(std::chrono::milliseconds(timeout_ms));
     }
-    if (options.max_states > 0) budget.set_max_states(options.max_states);
+    const std::uint64_t max_states =
+        query.max_states > 0 ? query.max_states : options.max_states;
+    if (max_states > 0) budget.set_max_states(max_states);
 
     Verdict verdict;
     try {
@@ -423,6 +430,14 @@ std::vector<Verdict> Engine::run(const std::vector<Query>& queries) {
 }
 
 Verdict Engine::run_one(const Query& query) { return impl_->run_one(query); }
+
+std::size_t Engine::workers() const { return impl_->pool.num_workers(); }
+
+void Engine::submit(Query query, std::function<void(Verdict)> done) {
+  impl_->pool.submit(
+      [impl = impl_.get(), query = std::move(query),
+       done = std::move(done)] { done(impl->run_one(query)); });
+}
 
 EngineStats Engine::stats() const {
   EngineStats stats;

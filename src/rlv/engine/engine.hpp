@@ -39,6 +39,7 @@
 // pre(L_ω) trim per system, and one translation per formula polarity.
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -91,8 +92,21 @@ class Engine {
   /// Executes a single query through the same caches.
   [[nodiscard]] Verdict run_one(const Query& query);
 
+  /// Asynchronous single-query submission — the serving hook. Enqueues the
+  /// query on the engine pool and invokes `done` with the verdict on the
+  /// worker thread that executed it. With jobs <= 1 the pool has no
+  /// workers, so the query (and `done`) run inline on the caller — a
+  /// resident server must therefore be given an engine with jobs >= 2 or
+  /// its event loop executes queries itself. `done` must not throw. Every
+  /// callback submitted before ~Engine runs to completion before the
+  /// destructor returns (the pool drains its queue).
+  void submit(Query query, std::function<void(Verdict)> done);
+
   /// Cumulative cache counters and query totals since construction.
   [[nodiscard]] EngineStats stats() const;
+
+  /// Pool worker threads (0 when jobs <= 1, i.e. inline execution).
+  [[nodiscard]] std::size_t workers() const;
 
  private:
   struct Impl;

@@ -61,6 +61,20 @@ struct Query {
   /// cache key — every thread count computes the same verdict (see
   /// engine.hpp on counterexample canonicality).
   std::size_t threads = 0;
+  /// Per-query budget overrides for the serving path: nonzero replaces the
+  /// engine-wide EngineOptions default for this query only. The rlv::net
+  /// server clamps client-supplied values to its caps before submission.
+  /// Like `threads`, NOT part of the verdict cache key — exhausted verdicts
+  /// are never cached, so budgets cannot alias outcomes.
+  std::uint64_t timeout_ms = 0;
+  std::uint64_t max_states = 0;
+  /// Request-level certification opt-in, ORed with
+  /// EngineOptions::certify_verdicts: a query can strengthen the engine's
+  /// policy but never weaken it (a certify=false request must not push an
+  /// unvalidated verdict into a cache that certified clients share).
+  /// Certification happens at compute time, so a cache hit serves the
+  /// verdict as validated (or not) when it was first computed.
+  bool certify = false;
 };
 
 struct Verdict {

@@ -18,7 +18,48 @@ void append_word_array(std::ostream& out, const char* field,
   out << ']';
 }
 
+void append_counters(std::ostream& out, const char* name,
+                     const CacheCounters& c) {
+  out << '"' << name << "\":{\"hits\":" << c.hits << ",\"misses\":" << c.misses
+      << ",\"evictions\":" << c.evictions << '}';
+}
+
 }  // namespace
+
+std::string render_stats(const EngineStats& stats) {
+  std::ostringstream out;
+  out << "{\"queries\":" << stats.queries_run
+      << ",\"certificates_checked\":" << stats.certificates_checked
+      << ",\"certificates_failed\":" << stats.certificates_failed
+      << ",\"caches\":{";
+  append_counters(out, "systems", stats.systems);
+  out << ',';
+  append_counters(out, "behaviors", stats.behaviors);
+  out << ',';
+  append_counters(out, "prefixes", stats.prefixes);
+  out << ',';
+  append_counters(out, "translations", stats.translations);
+  out << ',';
+  append_counters(out, "properties", stats.properties);
+  out << ',';
+  append_counters(out, "verdicts", stats.verdicts);
+  out << ',';
+  append_counters(out, "total", stats.total());
+  out << "},\"stages\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const StageMetrics& m = stats.stages.stages[i];
+    if (m.calls == 0 && m.nanos == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << stage_name(static_cast<Stage>(i))
+        << "\":{\"calls\":" << m.calls << ",\"states\":" << m.states_built
+        << ",\"peak_frontier\":" << m.peak_antichain
+        << ",\"ms\":" << static_cast<double>(m.nanos) / 1e6 << '}';
+  }
+  out << "}}";
+  return out.str();
+}
 
 std::string render_stage_times(const QueryProfile& profile) {
   std::ostringstream out;

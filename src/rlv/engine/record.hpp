@@ -27,6 +27,20 @@ namespace rlv {
 /// {"parse":0.01,...} — exclusive milliseconds of every stage that ran.
 [[nodiscard]] std::string render_stage_times(const QueryProfile& profile);
 
+/// Full EngineStats snapshot as one JSON object — the shared serialization
+/// behind `rlvd`'s stderr summary / `--metrics` block and the rlv::net
+/// server's `stats` response:
+///
+///   {"queries":6,"certificates_checked":4,"certificates_failed":0,
+///    "caches":{"systems":{"hits":4,"misses":2,"evictions":0},...,
+///              "total":{...}},
+///    "stages":{"parse":{"calls":6,"states":0,"peak_frontier":0,"ms":0.1},
+///              ...}}
+///
+/// Stages that never ran are omitted; the six caches and "total" are
+/// always present.
+[[nodiscard]] std::string render_stats(const EngineStats& stats);
+
 /// Renders one rlvd result record. `system_label` / `property_label` are
 /// presentation strings (the paths from the batch file; property empty for
 /// the formula flavor). Witness symbols are rendered as action names by

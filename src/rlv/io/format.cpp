@@ -395,6 +395,11 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
+std::string_view strip_cr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);

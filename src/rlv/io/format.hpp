@@ -90,6 +90,13 @@ class IoError : public std::runtime_error {
 /// Reads a whole file; throws std::runtime_error when unreadable.
 [[nodiscard]] std::string read_file(const std::string& path);
 
+/// Drops one trailing '\r' — the normalization every line-oriented reader
+/// must apply after splitting CRLF input on '\n'. Network clients and
+/// Windows-edited batch files terminate lines with "\r\n"; the rlvd batch
+/// reader and the rlv::net protocol both chomp through this one helper so
+/// the two front ends can never diverge on line endings.
+[[nodiscard]] std::string_view strip_cr(std::string_view line);
+
 /// JSON string escaping (quotes, backslashes, and control characters per
 /// RFC 8259). Every string a tool emits inside JSON — file paths, formulas,
 /// witness words, error messages — must go through this: paths and error

@@ -1,0 +1,89 @@
+#pragma once
+
+// Blocking client for the rlvd wire protocol — the counterpart of
+// net::Server used by tools/rlv_loadgen and the integration tests. One
+// Client is one TCP connection; it is NOT thread-safe (one connection per
+// thread is the intended shape for a closed-loop load generator).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "rlv/engine/query.hpp"
+
+namespace rlv::net {
+
+/// Serializes a Query as a protocol request line (no trailing newline).
+/// `label` becomes the record's presentation name when non-empty. Only
+/// non-default knobs are emitted, so the line stays small for the common
+/// case.
+[[nodiscard]] std::string render_query_request(const Query& query,
+                                               std::uint64_t id,
+                                               std::string_view label = {});
+
+/// The response fields a client dispatches on, parsed from one line. The
+/// full record stays available in `raw` for callers that need witnesses or
+/// stage timings.
+struct Response {
+  std::uint64_t id = 0;
+  bool ok = false;
+  bool has_holds = false;
+  bool holds = false;
+  bool overloaded = false;
+  bool resource_exhausted = false;
+  std::string error;
+  std::string raw;
+};
+
+/// Parses a response line; throws std::runtime_error on non-JSON input.
+[[nodiscard]] Response parse_response(std::string_view line);
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      buffer_ = std::move(other.buffer_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to host:port (dotted IPv4, or "localhost"). Throws
+  /// std::runtime_error on failure.
+  void connect(const std::string& host, std::uint16_t port);
+
+  /// Sends one request line and blocks for one response line — the
+  /// closed-loop primitive. The request must not contain '\n'.
+  [[nodiscard]] std::string call(std::string_view request_line);
+
+  /// Pipelining primitives: send without waiting / read one line.
+  /// read_line() throws on EOF or socket errors.
+  void send_line(std::string_view line);
+  [[nodiscard]] std::string read_line();
+
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// The raw socket, for tests that need to abuse it (e.g. slam the
+  /// connection shut while a response is in flight). -1 when closed.
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last returned line
+};
+
+}  // namespace rlv::net

@@ -1,0 +1,138 @@
+#include "rlv/net/protocol.hpp"
+
+#include <algorithm>
+
+#include "rlv/io/format.hpp"
+#include "rlv/net/json.hpp"
+
+namespace rlv::net {
+
+namespace {
+
+/// The fields a request may carry; anything else is rejected so typos
+/// ("formual") fail loudly instead of silently checking the wrong thing.
+constexpr std::string_view kKnownFields[] = {
+    "op",      "id",         "system",     "formula", "property_automaton",
+    "check",   "algorithm",  "threads",    "timeout_ms", "max_states",
+    "certify", "label",
+};
+
+}  // namespace
+
+Request parse_request(std::string_view line) {
+  JsonValue root;
+  try {
+    root = parse_json(line);
+  } catch (const JsonError& e) {
+    throw std::runtime_error(std::string("malformed JSON: ") + e.what());
+  }
+  if (!root.is_object()) throw std::runtime_error("request must be an object");
+  for (const auto& [key, unused] : root.object) {
+    if (std::find(std::begin(kKnownFields), std::end(kKnownFields), key) ==
+        std::end(kKnownFields)) {
+      throw std::runtime_error("unknown field '" + key + "'");
+    }
+  }
+
+  Request request;
+  if (const JsonValue* id = root.find("id")) request.id = id->as_uint();
+  if (const JsonValue* label = root.find("label")) {
+    request.label = label->as_string();
+  }
+
+  std::string_view op = "query";
+  if (const JsonValue* op_field = root.find("op")) {
+    op = op_field->as_string();
+  }
+  if (op == "stats") {
+    request.op = RequestOp::kStats;
+    return request;
+  }
+  if (op == "ping") {
+    request.op = RequestOp::kPing;
+    return request;
+  }
+  if (op != "query") {
+    throw std::runtime_error("unknown op '" + std::string(op) + "'");
+  }
+
+  request.op = RequestOp::kQuery;
+  const JsonValue* system = root.find("system");
+  if (!system) throw std::runtime_error("missing field 'system'");
+  request.query.system = system->as_string();
+
+  const JsonValue* formula = root.find("formula");
+  const JsonValue* property = root.find("property_automaton");
+  if (formula && property) {
+    throw std::runtime_error(
+        "'formula' and 'property_automaton' are mutually exclusive");
+  }
+  if (!formula && !property) {
+    throw std::runtime_error("missing 'formula' or 'property_automaton'");
+  }
+  if (formula) request.query.formula = formula->as_string();
+  if (property) request.query.property_automaton = property->as_string();
+
+  if (const JsonValue* check = root.find("check")) {
+    const auto kind = parse_check_kind(check->as_string());
+    if (!kind) {
+      throw std::runtime_error("unknown check kind '" + check->as_string() +
+                               "'");
+    }
+    request.query.kind = *kind;
+  }
+  if (const JsonValue* algorithm = root.find("algorithm")) {
+    const auto algo = parse_inclusion_algorithm(algorithm->as_string());
+    if (!algo) {
+      throw std::runtime_error("unknown inclusion algorithm '" +
+                               algorithm->as_string() + "'");
+    }
+    request.query.algorithm = *algo;
+  }
+  if (const JsonValue* threads = root.find("threads")) {
+    request.query.threads = static_cast<std::size_t>(threads->as_uint());
+  }
+  if (const JsonValue* timeout = root.find("timeout_ms")) {
+    request.query.timeout_ms = timeout->as_uint();
+  }
+  if (const JsonValue* max_states = root.find("max_states")) {
+    request.query.max_states = max_states->as_uint();
+  }
+  if (const JsonValue* certify = root.find("certify")) {
+    request.query.certify = certify->as_bool();
+  }
+  return request;
+}
+
+void apply_limits(Query& query, const ServerLimits& limits) {
+  if (limits.max_timeout_ms > 0) {
+    query.timeout_ms = query.timeout_ms > 0
+                           ? std::min(query.timeout_ms, limits.max_timeout_ms)
+                           : limits.max_timeout_ms;
+  }
+  if (limits.max_max_states > 0) {
+    query.max_states = query.max_states > 0
+                           ? std::min(query.max_states, limits.max_max_states)
+                           : limits.max_max_states;
+  }
+  query.threads = std::min(query.threads, limits.max_threads);
+}
+
+std::string render_error(std::optional<std::uint64_t> id,
+                         std::string_view code, std::string_view detail) {
+  std::string out = "{";
+  if (id) out += "\"id\":" + std::to_string(*id) + ",";
+  out += "\"ok\":false,\"error\":\"" + json_escape(code) + "\"";
+  if (!detail.empty()) out += ",\"detail\":\"" + json_escape(detail) + "\"";
+  out += "}";
+  return out;
+}
+
+std::string render_overloaded(std::uint64_t id, std::string_view scope) {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"ok\":false,\"error\":\"overloaded\",\"overloaded\":true,"
+         "\"scope\":\"" +
+         json_escape(scope) + "\"}";
+}
+
+}  // namespace rlv::net

@@ -1,0 +1,89 @@
+#pragma once
+
+// The rlvd wire protocol: newline-delimited JSON, one request object per
+// line, one response object per line. Requests map 1:1 onto
+// rlv::engine::Query; query responses are exactly the records
+// render_query_record emits for the batch front end (plus the echoed
+// request "id"), so a client that already consumes rlvd batch output can
+// consume the wire verbatim.
+//
+// Request object:
+//
+//   {"op":"query",                      // default; also "stats", "ping"
+//    "id":7,                            // echoed on the response
+//    "system":"alphabet: a b\n...",     // rlv/io system text, REQUIRED
+//    "formula":"G F result",            // PLTL (or property_automaton)
+//    "property_automaton":"...",        // Büchi text, excludes "formula"
+//    "check":"rl",                      // rl|rs|sat|fair|fairweak
+//    "algorithm":"antichain",           // antichain|subset
+//    "threads":2,                       // intra-query inclusion threads
+//    "timeout_ms":500,"max_states":1e6, // per-query budget overrides
+//    "certify":true,                    // request certificate validation
+//    "label":"fig2"}                    // presentation name in the record
+//
+// Client-supplied threads/budget values are clamped to the server's caps
+// by apply_limits(); certify can only strengthen the engine's policy
+// (monotone: a request never disables server-side certification).
+//
+// Response shapes (all single-line JSON):
+//
+//   query    {"id":7,"system":"fig2","check":"rl",...}   (the rlvd record)
+//   stats    {"id":3,"ok":true,"stats":{...},"server":{...}}
+//   ping     {"id":1,"ok":true,"pong":true}
+//   error    {"id":7,"ok":false,"error":"bad_request","detail":"..."}
+//   overload {"id":7,"ok":false,"error":"overloaded","overloaded":true,
+//             "scope":"server"}        // or "connection"
+//
+// Budget-tripped queries report through the record's
+// "resource_exhausted":true shape, exactly as in batch mode.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rlv/engine/query.hpp"
+
+namespace rlv::net {
+
+/// Server-side caps applied to client-supplied per-query overrides. A zero
+/// cap means "no override allowed" for threads and "unlimited" for the
+/// budget fields; a nonzero budget cap also acts as the default for
+/// requests that specify no budget, so every served query carries a
+/// deadline the drain path can rely on.
+struct ServerLimits {
+  std::uint64_t max_timeout_ms = 30000;
+  std::uint64_t max_max_states = 0;
+  std::size_t max_threads = 1;
+};
+
+enum class RequestOp : std::uint8_t { kQuery, kStats, kPing };
+
+struct Request {
+  RequestOp op = RequestOp::kQuery;
+  std::uint64_t id = 0;
+  std::string label;  // presentation label; "inline" when absent
+  Query query;        // populated for kQuery
+};
+
+/// Parses one request line (already stripped of the trailing newline/CR).
+/// Throws std::runtime_error with a message safe to echo to the client;
+/// never reads files or touches engine state.
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// Clamps the query's client-supplied overrides to the server caps, and
+/// applies the budget caps as defaults where the client sent none.
+void apply_limits(Query& query, const ServerLimits& limits);
+
+/// {"id":N,"ok":false,"error":"<code>","detail":"..."} — `detail` omitted
+/// when empty, `id` omitted when the request id could not be parsed.
+[[nodiscard]] std::string render_error(std::optional<std::uint64_t> id,
+                                       std::string_view code,
+                                       std::string_view detail);
+
+/// The structured backpressure rejection; scope is "connection" or
+/// "server" depending on which in-flight cap tripped.
+[[nodiscard]] std::string render_overloaded(std::uint64_t id,
+                                            std::string_view scope);
+
+}  // namespace rlv::net

@@ -1,0 +1,563 @@
+#include "rlv/net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "rlv/engine/record.hpp"
+#include "rlv/io/format.hpp"
+
+namespace rlv::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Listener
+
+std::uint16_t Listener::listen(const std::string& address, std::uint16_t port,
+                               int backlog) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("bad bind address: " + address);
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    close();
+    throw_errno("bind " + address + ":" + std::to_string(port));
+  }
+  if (::listen(fd_, backlog) < 0) {
+    close();
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    close();
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+int Listener::accept_client() {
+  const int cfd = ::accept4(fd_, nullptr, nullptr,
+                            SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (cfd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED ||
+        errno == EINTR) {
+      return -1;
+    }
+    throw_errno("accept");
+  }
+  const int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return cfd;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+namespace {
+
+/// One client socket and its protocol state. Owned exclusively by the
+/// event-loop thread.
+struct Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::string in;   // received bytes not yet forming a complete line
+  std::string out;  // rendered responses not yet written
+  std::size_t inflight = 0;  // queries submitted, response not yet queued
+  bool closing = false;      // close once `out` drains (protocol error)
+  bool read_closed = false;  // peer half-closed; flush and then close
+  Clock::time_point last_activity{};
+};
+
+struct Completion {
+  std::uint64_t conn_id = 0;
+  std::string line;
+};
+
+/// The worker→loop handoff. Shared (via shared_ptr) between the server and
+/// every in-flight completion callback, so a callback finishing after the
+/// server is gone posts into a queue nobody reads instead of freed memory.
+/// Owns the write end of the wakeup pipe.
+struct CompletionSink {
+  std::mutex mutex;
+  std::vector<Completion> items;
+  int wake_fd = -1;
+
+  ~CompletionSink() {
+    if (wake_fd >= 0) ::close(wake_fd);
+  }
+
+  void post(std::uint64_t conn_id, std::string line) {
+    {
+      std::lock_guard lock(mutex);
+      items.push_back({conn_id, std::move(line)});
+    }
+    const char byte = 'c';
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+    // A full pipe means the loop has wakeups pending already.
+  }
+};
+
+}  // namespace
+
+struct Server::Impl {
+  Impl(Engine& eng, ServerOptions opts)
+      : engine(eng), options(std::move(opts)) {
+    int pipe_fds[2];
+    if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) < 0) throw_errno("pipe2");
+    wake_read = pipe_fds[0];
+    sink = std::make_shared<CompletionSink>();
+    sink->wake_fd = pipe_fds[1];
+    wake_write = pipe_fds[1];
+  }
+
+  ~Impl() {
+    for (auto& [id, conn] : connections) close_fd(conn);
+    if (wake_read >= 0) ::close(wake_read);
+    // The sink closes the write end when the last callback releases it.
+  }
+
+  Engine& engine;
+  ServerOptions options;
+  Listener listener;
+  std::uint16_t bound_port = 0;
+  bool started = false;
+  int wake_read = -1;
+  int wake_write = -1;  // sink-owned; cached for the signal-safe wakeup
+  std::shared_ptr<CompletionSink> sink;
+  std::atomic<bool> stop{false};
+
+  // Owner sentinels for the pollfd table; connection ids start above them.
+  static constexpr std::uint64_t kWakeOwner = 0;
+  static constexpr std::uint64_t kListenerOwner = 1;
+
+  std::unordered_map<std::uint64_t, Connection> connections;
+  std::uint64_t next_conn_id = kListenerOwner + 1;
+  std::size_t global_inflight = 0;
+
+  // Counters are atomics so counters()/stats snapshots from other threads
+  // stay race-free; only the loop thread writes them.
+  std::atomic<std::uint64_t> c_accepted{0};
+  std::atomic<std::uint64_t> c_open{0};
+  std::atomic<std::uint64_t> c_requests{0};
+  std::atomic<std::uint64_t> c_queries{0};
+  std::atomic<std::uint64_t> c_overload{0};
+  std::atomic<std::uint64_t> c_proto_err{0};
+  std::atomic<std::uint64_t> c_idle{0};
+  std::atomic<std::uint64_t> c_bytes_read{0};
+  std::atomic<std::uint64_t> c_bytes_written{0};
+  std::atomic<std::uint64_t> c_inflight{0};
+
+  void close_fd(Connection& conn) {
+    if (conn.fd < 0) return;
+    ::close(conn.fd);
+    conn.fd = -1;
+    c_open.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void flush_writes(Connection& conn) {
+    while (!conn.out.empty() && conn.fd >= 0) {
+      const ssize_t n =
+          ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        c_bytes_written.fetch_add(static_cast<std::uint64_t>(n),
+                                  std::memory_order_relaxed);
+        conn.out.erase(0, static_cast<std::size_t>(n));
+        conn.last_activity = Clock::now();
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      // EPIPE/ECONNRESET: the client vanished mid-response. MSG_NOSIGNAL
+      // (plus the SIG_IGN installed at start) keeps the daemon alive; the
+      // connection is reaped, its in-flight completions dropped on arrival.
+      close_fd(conn);
+      conn.out.clear();
+    }
+  }
+
+  void send_line(Connection& conn, std::string line) {
+    conn.out += line;
+    conn.out += '\n';
+    flush_writes(conn);
+  }
+
+  std::string render_server_stats(std::uint64_t id, bool stopping) {
+    std::ostringstream out;
+    out << "{\"id\":" << id
+        << ",\"ok\":true,\"stats\":" << render_stats(engine.stats())
+        << ",\"server\":{\"connections_accepted\":" << c_accepted.load()
+        << ",\"connections_open\":" << c_open.load()
+        << ",\"requests\":" << c_requests.load()
+        << ",\"queries\":" << c_queries.load()
+        << ",\"overload_rejects\":" << c_overload.load()
+        << ",\"protocol_errors\":" << c_proto_err.load()
+        << ",\"idle_closed\":" << c_idle.load()
+        << ",\"bytes_read\":" << c_bytes_read.load()
+        << ",\"bytes_written\":" << c_bytes_written.load()
+        << ",\"inflight\":" << global_inflight
+        << ",\"draining\":" << (stopping ? "true" : "false") << "}}";
+    return out.str();
+  }
+
+  void submit_query(Connection& conn, Request req) {
+    if (global_inflight >= options.max_inflight) {
+      c_overload.fetch_add(1, std::memory_order_relaxed);
+      send_line(conn, render_overloaded(req.id, "server"));
+      return;
+    }
+    if (conn.inflight >= options.max_inflight_per_connection) {
+      c_overload.fetch_add(1, std::memory_order_relaxed);
+      send_line(conn, render_overloaded(req.id, "connection"));
+      return;
+    }
+    apply_limits(req.query, options.limits);
+    ++global_inflight;
+    ++conn.inflight;
+    c_inflight.store(global_inflight, std::memory_order_relaxed);
+    c_queries.fetch_add(1, std::memory_order_relaxed);
+
+    Query to_run = req.query;
+    std::string label = req.label.empty() ? "inline" : std::move(req.label);
+    std::string property_label =
+        req.query.property_automaton.empty() ? std::string() : label;
+    // The callback runs on an engine worker: rendering (which re-parses
+    // the system text for witness action names) happens there, off the
+    // event loop. Engine outlives every callback (its destructor drains
+    // the pool), and the shared sink outlives the server.
+    engine.submit(
+        std::move(to_run),
+        [sink = sink, engine = &engine, conn_id = conn.id,
+         id = req.id, query = std::move(req.query), label = std::move(label),
+         property_label = std::move(property_label)](Verdict verdict) {
+          std::string record =
+              render_query_record(id, query, verdict, label, property_label,
+                                  engine->stats().total());
+          sink->post(conn_id, std::move(record));
+        });
+  }
+
+  void handle_line(Connection& conn, std::string_view line, bool stopping) {
+    c_requests.fetch_add(1, std::memory_order_relaxed);
+    Request req;
+    try {
+      req = parse_request(line);
+    } catch (const std::exception& e) {
+      // The stream may be desynced (a partial or non-protocol line), so
+      // answer once and close rather than misinterpret what follows.
+      c_proto_err.fetch_add(1, std::memory_order_relaxed);
+      send_line(conn, render_error(std::nullopt, "bad_request", e.what()));
+      conn.closing = true;
+      return;
+    }
+    switch (req.op) {
+      case RequestOp::kPing:
+        send_line(conn, "{\"id\":" + std::to_string(req.id) +
+                            ",\"ok\":true,\"pong\":true}");
+        break;
+      case RequestOp::kStats:
+        send_line(conn, render_server_stats(req.id, stopping));
+        break;
+      case RequestOp::kQuery:
+        submit_query(conn, std::move(req));
+        break;
+    }
+  }
+
+  void process_lines(Connection& conn, bool stopping) {
+    std::size_t start = 0;
+    while (conn.fd >= 0 && !conn.closing) {
+      const std::size_t nl = conn.in.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string_view line =
+          strip_cr(std::string_view(conn.in).substr(start, nl - start));
+      start = nl + 1;
+      if (!line.empty()) handle_line(conn, line, stopping);
+    }
+    conn.in.erase(0, start);
+    if (conn.in.size() > options.max_request_bytes && !conn.closing) {
+      c_proto_err.fetch_add(1, std::memory_order_relaxed);
+      send_line(conn, render_error(std::nullopt, "bad_request",
+                                   "request line too large"));
+      conn.closing = true;
+      conn.in.clear();
+    }
+  }
+
+  void read_from(Connection& conn, Clock::time_point now, bool stopping) {
+    char buffer[65536];
+    while (conn.fd >= 0) {
+      const ssize_t n = ::recv(conn.fd, buffer, sizeof buffer, 0);
+      if (n > 0) {
+        c_bytes_read.fetch_add(static_cast<std::uint64_t>(n),
+                               std::memory_order_relaxed);
+        conn.in.append(buffer, static_cast<std::size_t>(n));
+        conn.last_activity = now;
+        continue;
+      }
+      if (n == 0) {
+        conn.read_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_fd(conn);
+      return;
+    }
+    process_lines(conn, stopping);
+  }
+
+  void accept_clients(Clock::time_point now) {
+    while (connections.size() < options.max_connections) {
+      const int cfd = listener.accept_client();
+      if (cfd < 0) return;
+      const std::uint64_t id = next_conn_id++;
+      Connection conn;
+      conn.fd = cfd;
+      conn.id = id;
+      conn.last_activity = now;
+      connections.emplace(id, std::move(conn));
+      c_accepted.fetch_add(1, std::memory_order_relaxed);
+      c_open.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void drain_completions() {
+    std::vector<Completion> items;
+    {
+      std::lock_guard lock(sink->mutex);
+      items.swap(sink->items);
+    }
+    for (Completion& completion : items) {
+      if (global_inflight > 0) --global_inflight;
+      c_inflight.store(global_inflight, std::memory_order_relaxed);
+      const auto it = connections.find(completion.conn_id);
+      if (it == connections.end()) continue;  // client left; drop the line
+      Connection& conn = it->second;
+      if (conn.inflight > 0) --conn.inflight;
+      if (conn.fd < 0) continue;
+      conn.out += completion.line;
+      conn.out += '\n';
+      flush_writes(conn);
+    }
+  }
+
+  int poll_timeout(bool stopping,
+                   const std::optional<Clock::time_point>& drain_deadline,
+                   Clock::time_point now) const {
+    std::int64_t timeout = -1;
+    const auto consider = [&](Clock::time_point deadline) {
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - now)
+                          .count();
+      const std::int64_t clamped = ms < 0 ? 0 : ms + 1;
+      if (timeout < 0 || clamped < timeout) timeout = clamped;
+    };
+    if (stopping && drain_deadline) consider(*drain_deadline);
+    if (!stopping && options.idle_timeout_ms > 0) {
+      for (const auto& [id, conn] : connections) {
+        if (conn.fd < 0 || conn.inflight > 0 || !conn.out.empty()) continue;
+        consider(conn.last_activity +
+                 std::chrono::milliseconds(options.idle_timeout_ms));
+      }
+    }
+    if (timeout > 60000) timeout = 60000;
+    return static_cast<int>(timeout);
+  }
+
+  void run() {
+    if (!started) throw std::runtime_error("Server::run() before start()");
+    std::optional<Clock::time_point> drain_deadline;
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> owners;  // kWakeOwner, kListenerOwner, or conn id
+    while (true) {
+      drain_completions();
+      const bool stopping = stop.load(std::memory_order_acquire);
+      Clock::time_point now = Clock::now();
+      if (stopping) {
+        listener.close();
+        if (!drain_deadline) {
+          drain_deadline =
+              now + std::chrono::milliseconds(options.drain_timeout_ms);
+        }
+      }
+      // Reap: broken sockets, protocol-error closes whose responses have
+      // flushed, half-closed clients with nothing pending, and — during
+      // drain — every connection that is fully answered.
+      for (auto it = connections.begin(); it != connections.end();) {
+        Connection& conn = it->second;
+        const bool answered = conn.inflight == 0 && conn.out.empty();
+        if (conn.fd < 0 || (conn.closing && conn.out.empty()) ||
+            ((conn.read_closed || stopping) && answered)) {
+          close_fd(conn);
+          it = connections.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (stopping) {
+        if (global_inflight == 0 && connections.empty()) break;
+        if (now >= *drain_deadline) break;  // drain bound: give up on stragglers
+      }
+
+      fds.clear();
+      owners.clear();
+      fds.push_back({wake_read, POLLIN, 0});
+      owners.push_back(kWakeOwner);
+      if (!stopping && listener.open() &&
+          connections.size() < options.max_connections) {
+        fds.push_back({listener.fd(), POLLIN, 0});
+        owners.push_back(kListenerOwner);
+      }
+      for (auto& [id, conn] : connections) {
+        short events = 0;
+        if (!stopping && !conn.closing && !conn.read_closed &&
+            conn.out.size() <= options.max_write_buffer) {
+          events |= POLLIN;
+        }
+        if (!conn.out.empty()) events |= POLLOUT;
+        if (events == 0) continue;  // waiting only on completions
+        fds.push_back({conn.fd, events, 0});
+        owners.push_back(id);
+      }
+
+      const int n =
+          ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                 poll_timeout(stopping, drain_deadline, now));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("poll");
+      }
+      now = Clock::now();
+      if (fds[0].revents & POLLIN) {
+        char buffer[256];
+        while (::read(wake_read, buffer, sizeof buffer) > 0) {
+        }
+      }
+      for (std::size_t i = 1; i < fds.size(); ++i) {
+        if (owners[i] == kListenerOwner) {
+          if (fds[i].revents & POLLIN) accept_clients(now);
+          continue;
+        }
+        const auto it = connections.find(owners[i]);
+        if (it == connections.end()) continue;
+        Connection& conn = it->second;
+        if (fds[i].revents & POLLOUT) flush_writes(conn);
+        if (conn.fd >= 0 && (fds[i].revents & POLLIN)) {
+          read_from(conn, now, stopping);
+        }
+        if (conn.fd >= 0 && (fds[i].revents & (POLLERR | POLLNVAL))) {
+          close_fd(conn);
+        }
+        // POLLHUP with no POLLIN: nothing left to read, peer is gone.
+        if (conn.fd >= 0 && (fds[i].revents & POLLHUP) &&
+            !(fds[i].revents & POLLIN)) {
+          conn.read_closed = true;
+        }
+      }
+      if (!stopping && options.idle_timeout_ms > 0) {
+        for (auto& [id, conn] : connections) {
+          if (conn.fd < 0 || conn.inflight > 0 || !conn.out.empty()) continue;
+          if (now - conn.last_activity >=
+              std::chrono::milliseconds(options.idle_timeout_ms)) {
+            c_idle.fetch_add(1, std::memory_order_relaxed);
+            close_fd(conn);
+          }
+        }
+      }
+    }
+    for (auto& [id, conn] : connections) close_fd(conn);
+    connections.clear();
+  }
+};
+
+Server::Server(Engine& engine, ServerOptions options)
+    : impl_(std::make_unique<Impl>(engine, std::move(options))) {
+  if (engine.workers() == 0) {
+    // With jobs <= 1 Engine::submit runs the query inline on the caller —
+    // which here would be the event loop, freezing every other client.
+    throw std::invalid_argument(
+        "net::Server requires an Engine with jobs >= 2 (a real worker pool)");
+  }
+}
+
+Server::~Server() = default;
+
+std::uint16_t Server::start() {
+  // A client disconnecting mid-response must not kill the daemon: every
+  // send() also passes MSG_NOSIGNAL, but third-party code (and the client
+  // library, when used in-process) writes to sockets too.
+  std::signal(SIGPIPE, SIG_IGN);
+  impl_->bound_port = impl_->listener.listen(
+      impl_->options.bind_address, impl_->options.port, impl_->options.backlog);
+  impl_->started = true;
+  return impl_->bound_port;
+}
+
+void Server::run() { impl_->run(); }
+
+void Server::request_stop() {
+  // Async-signal-safe: one atomic store plus one write(2) on a pipe fd
+  // that stays valid for the server's lifetime.
+  impl_->stop.store(true, std::memory_order_release);
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(impl_->wake_write, &byte, 1);
+}
+
+std::uint16_t Server::port() const { return impl_->bound_port; }
+
+ServerCounters Server::counters() const {
+  ServerCounters counters;
+  counters.connections_accepted = impl_->c_accepted.load();
+  counters.connections_open = impl_->c_open.load();
+  counters.requests = impl_->c_requests.load();
+  counters.queries = impl_->c_queries.load();
+  counters.overload_rejects = impl_->c_overload.load();
+  counters.protocol_errors = impl_->c_proto_err.load();
+  counters.idle_closed = impl_->c_idle.load();
+  counters.bytes_read = impl_->c_bytes_read.load();
+  counters.bytes_written = impl_->c_bytes_written.load();
+  counters.inflight = impl_->c_inflight.load();
+  return counters;
+}
+
+}  // namespace rlv::net

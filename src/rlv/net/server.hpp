@@ -1,0 +1,131 @@
+#pragma once
+
+// rlv::net::Server — the resident serving layer over rlv::Engine. One
+// process owns one Engine (and thus one set of warm caches) and serves the
+// newline-delimited JSON protocol of protocol.hpp to any number of
+// concurrent TCP clients.
+//
+// Threading model: ONE event-loop thread (the caller of run()) owns every
+// socket, buffer, and connection object and never executes a query; query
+// work happens on the Engine's worker pool via Engine::submit. Completed
+// verdicts are rendered on the worker thread (rendering re-parses the
+// system text — keep that off the loop) and handed back through a
+// mutex-protected completion queue plus a self-pipe wakeup. Because the
+// engine runs queries inline when built with jobs <= 1, a Server requires
+// an Engine with jobs >= 2.
+//
+// Backpressure: in-flight queries are bounded per connection and globally;
+// a request over either bound is answered immediately with the structured
+// "overloaded" rejection (scope "connection" / "server") instead of
+// queueing without bound or stalling the socket. A connection whose write
+// buffer exceeds max_write_buffer stops being read until the client
+// drains it (TCP backpressure).
+//
+// Shutdown: request_stop() is async-signal-safe (an atomic store plus a
+// write to the self-pipe) so a SIGINT/SIGTERM handler can call it
+// directly. The loop then stops accepting and reading, lets in-flight
+// queries finish under their Budget deadlines (apply_limits gives every
+// served query one), flushes buffered responses, and returns; a drain
+// deadline bounds the wait against budget-less stragglers.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rlv/engine/engine.hpp"
+#include "rlv/net/protocol.hpp"
+
+namespace rlv::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; start() returns the bound port
+  int backlog = 64;
+  std::size_t max_connections = 256;
+  std::size_t max_inflight_per_connection = 8;
+  std::size_t max_inflight = 64;  // across all connections
+  /// A request line (and thus an embedded system text) larger than this is
+  /// rejected and the connection closed — the parser never sees it.
+  std::size_t max_request_bytes = 1 << 20;
+  /// Above this many buffered unsent response bytes the connection is not
+  /// read until the client catches up.
+  std::size_t max_write_buffer = 8 << 20;
+  std::uint64_t idle_timeout_ms = 120000;  // 0 = never close idle clients
+  std::uint64_t drain_timeout_ms = 5000;   // bound on the graceful drain
+  ServerLimits limits;  // caps/defaults for per-request overrides
+};
+
+/// Monotonic counters, snapshot via Server::counters() (any thread) and
+/// serialized into the "server" object of a stats response.
+struct ServerCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_open = 0;
+  std::uint64_t requests = 0;  // parsed protocol lines, any op
+  std::uint64_t queries = 0;   // submitted to the engine
+  std::uint64_t overload_rejects = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t idle_closed = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t inflight = 0;  // currently submitted, response not yet queued
+};
+
+/// RAII listening socket (IPv4, non-blocking). Split out of Server so tests
+/// and future front ends (e.g. a unix-socket flavor) can reuse it.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { close(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds address:port (dotted IPv4; port 0 picks an ephemeral port) with
+  /// SO_REUSEADDR and starts listening. Returns the bound port. Throws
+  /// std::runtime_error on failure.
+  std::uint16_t listen(const std::string& address, std::uint16_t port,
+                       int backlog);
+
+  /// Accepts one pending client as a non-blocking fd; -1 when none pending.
+  /// Throws on unexpected accept failures.
+  [[nodiscard]] int accept_client();
+
+  void close();
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+class Server {
+ public:
+  /// The engine must outlive the server AND be built with jobs >= 2 (see
+  /// the threading model above); the constructor enforces the latter.
+  Server(Engine& engine, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Installs SIGPIPE protection, binds, and listens. Returns the bound
+  /// port (== options.port unless that was 0). Throws on bind failure.
+  std::uint16_t start();
+
+  /// The event loop. Blocks until request_stop() completes the drain.
+  /// start() must have been called.
+  void run();
+
+  /// Begins graceful drain. Async-signal-safe; callable from any thread
+  /// or from a signal handler, before or during run(). Idempotent.
+  void request_stop();
+
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] ServerCounters counters() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rlv::net

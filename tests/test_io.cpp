@@ -258,6 +258,22 @@ TEST(IoDot, ContainsStructure) {
 }
 
 // ---------------------------------------------------------------------------
+// Line normalization shared by the rlvd batch reader and the wire protocol.
+
+TEST(IoStripCr, RemovesExactlyOneTrailingCarriageReturn) {
+  // Regression: a batch file (or network peer) with CRLF line endings must
+  // parse identically to one with LF — the stray '\r' used to reach the
+  // line parsers as part of the last token.
+  EXPECT_EQ(strip_cr("fig2.rlv --ltl \"G F result\"\r"),
+            "fig2.rlv --ltl \"G F result\"");
+  EXPECT_EQ(strip_cr("no ending"), "no ending");
+  EXPECT_EQ(strip_cr("\r"), "");
+  EXPECT_EQ(strip_cr(""), "");
+  EXPECT_EQ(strip_cr("a\r\r"), "a\r");     // one per line-split, not greedy
+  EXPECT_EQ(strip_cr("a\rb"), "a\rb");     // interior bytes untouched
+}
+
+// ---------------------------------------------------------------------------
 // JSON string escaping (used by rlvd result lines).
 
 TEST(IoJson, PassesPlainStringsThrough) {

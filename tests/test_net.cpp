@@ -1,0 +1,562 @@
+// Tests for rlv::net — the serving layer: the strict JSON reader, the
+// request/response protocol, server-side limit clamping, and the poll-based
+// Server end to end over real sockets (concurrent clients, verdict parity
+// with a direct Engine, backpressure rejections, protocol-error handling,
+// idle timeouts, mid-response disconnects, graceful drain). The sockets are
+// loopback-only and every server runs on an ephemeral port, so the suite is
+// parallel-safe.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rlv/engine/engine.hpp"
+#include "rlv/engine/record.hpp"
+#include "rlv/gen/families.hpp"
+#include "rlv/io/format.hpp"
+#include "rlv/net/client.hpp"
+#include "rlv/net/json.hpp"
+#include "rlv/net/protocol.hpp"
+#include "rlv/net/server.hpp"
+
+namespace rlv {
+namespace {
+
+using net::JsonValue;
+using net::parse_json;
+
+// ---------------------------------------------------------------------------
+// JSON reader.
+
+TEST(NetJson, ParsesScalarsAndNesting) {
+  const JsonValue root = parse_json(
+      R"({"a":1,"b":-2.5e1,"c":"x","d":[true,false,null],"e":{"f":""}})");
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.find("a")->as_uint(), 1u);
+  EXPECT_DOUBLE_EQ(root.find("b")->as_number(), -25.0);
+  EXPECT_EQ(root.find("c")->as_string(), "x");
+  ASSERT_EQ(root.find("d")->array.size(), 3u);
+  EXPECT_TRUE(root.find("d")->array[0].as_bool());
+  EXPECT_TRUE(root.find("d")->array[2].is_null());
+  ASSERT_NE(root.find("e")->find("f"), nullptr);
+  EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(NetJson, RejectsTrailingGarbageAndBareValuesAreFine) {
+  EXPECT_THROW((void)parse_json("{} trailing"), net::JsonError);
+  EXPECT_THROW((void)parse_json(""), net::JsonError);
+  EXPECT_THROW((void)parse_json("{"), net::JsonError);
+  EXPECT_THROW((void)parse_json("{\"a\":01}"), net::JsonError);
+  EXPECT_THROW((void)parse_json("'single'"), net::JsonError);
+  EXPECT_EQ(parse_json("  42 ").as_uint(), 42u);
+}
+
+TEST(NetJson, RejectsDuplicateKeys) {
+  EXPECT_THROW((void)parse_json(R"({"id":1,"id":2})"), net::JsonError);
+}
+
+TEST(NetJson, BoundsRecursionDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_THROW((void)parse_json(deep), net::JsonError);
+}
+
+TEST(NetJson, DecodesEscapesIncludingSurrogatePairs) {
+  const JsonValue root =
+      parse_json(R"({"s":"a\"b\\c\nAé😀"})");
+  EXPECT_EQ(root.find("s")->as_string(),
+            "a\"b\\c\nA\xC3\xA9\xF0\x9F\x98\x80");
+  EXPECT_THROW((void)parse_json(R"(["\ud83d"])"), net::JsonError);
+}
+
+TEST(NetJson, AsUintRejectsNegativeAndFractional) {
+  EXPECT_THROW((void)parse_json("-1").as_uint(), std::runtime_error);
+  EXPECT_THROW((void)parse_json("1.5").as_uint(), std::runtime_error);
+  EXPECT_THROW((void)parse_json("1e300").as_uint(), std::runtime_error);
+  EXPECT_EQ(parse_json("0").as_uint(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: request parsing, clamping, and render round trips.
+
+TEST(NetProtocol, ParsesQueryWithDefaults) {
+  const net::Request req = net::parse_request(
+      R"({"id":7,"system":"S","formula":"G F result","check":"rs"})");
+  EXPECT_EQ(req.op, net::RequestOp::kQuery);
+  EXPECT_EQ(req.id, 7u);
+  EXPECT_EQ(req.query.system, "S");
+  EXPECT_EQ(req.query.kind, CheckKind::kRelativeSafety);
+  EXPECT_EQ(req.query.algorithm, InclusionAlgorithm::kAntichain);
+  EXPECT_EQ(req.query.timeout_ms, 0u);
+  EXPECT_FALSE(req.query.certify);
+}
+
+TEST(NetProtocol, RejectsUnknownFieldsAndBadShapes) {
+  EXPECT_THROW((void)net::parse_request(R"({"system":"S","formual":"x"})"),
+               std::runtime_error);
+  EXPECT_THROW((void)net::parse_request(R"({"op":"query"})"),
+               std::runtime_error);  // missing system
+  EXPECT_THROW((void)net::parse_request(R"({"system":"S"})"),
+               std::runtime_error);  // neither formula nor automaton
+  EXPECT_THROW((void)net::parse_request(
+                   R"({"system":"S","formula":"x","property_automaton":"y"})"),
+               std::runtime_error);  // both
+  EXPECT_THROW((void)net::parse_request(R"({"op":"eval"})"),
+               std::runtime_error);  // unknown op
+  EXPECT_THROW((void)net::parse_request("[1,2]"), std::runtime_error);
+}
+
+TEST(NetProtocol, RenderQueryRequestRoundTripsHostileStrings) {
+  Query query;
+  query.system = "states: 1\n# \"quotes\" and \\ backslash\t\x01";
+  query.formula = "G(\"a\" -> F b)";
+  query.kind = CheckKind::kSatisfaction;
+  query.algorithm = InclusionAlgorithm::kSubset;
+  query.threads = 3;
+  query.timeout_ms = 1234;
+  query.max_states = 99;
+  query.certify = true;
+
+  const std::string line = net::render_query_request(query, 42, "lab\"el");
+  const net::Request req = net::parse_request(line);
+  EXPECT_EQ(req.id, 42u);
+  EXPECT_EQ(req.label, "lab\"el");
+  EXPECT_EQ(req.query.system, query.system);
+  EXPECT_EQ(req.query.formula, query.formula);
+  EXPECT_EQ(req.query.kind, query.kind);
+  EXPECT_EQ(req.query.algorithm, query.algorithm);
+  EXPECT_EQ(req.query.threads, query.threads);
+  EXPECT_EQ(req.query.timeout_ms, query.timeout_ms);
+  EXPECT_EQ(req.query.max_states, query.max_states);
+  EXPECT_EQ(req.query.certify, query.certify);
+}
+
+TEST(NetProtocol, AppliesLimitsAsCapsAndDefaults) {
+  net::ServerLimits limits;
+  limits.max_timeout_ms = 1000;
+  limits.max_max_states = 500;
+  limits.max_threads = 2;
+
+  Query query;  // no overrides: caps become defaults
+  net::apply_limits(query, limits);
+  EXPECT_EQ(query.timeout_ms, 1000u);
+  EXPECT_EQ(query.max_states, 500u);
+  EXPECT_EQ(query.threads, 0u);
+
+  Query greedy;
+  greedy.timeout_ms = 99999;
+  greedy.max_states = 99999;
+  greedy.threads = 64;
+  net::apply_limits(greedy, limits);
+  EXPECT_EQ(greedy.timeout_ms, 1000u);
+  EXPECT_EQ(greedy.max_states, 500u);
+  EXPECT_EQ(greedy.threads, 2u);
+
+  Query modest;
+  modest.timeout_ms = 10;
+  modest.max_states = 10;
+  net::apply_limits(modest, limits);
+  EXPECT_EQ(modest.timeout_ms, 10u);
+  EXPECT_EQ(modest.max_states, 10u);
+}
+
+TEST(NetProtocol, ErrorAndOverloadRendersParseBack) {
+  const JsonValue err = parse_json(net::render_error(7, "bad_request", "x\"y"));
+  EXPECT_EQ(err.find("id")->as_uint(), 7u);
+  EXPECT_FALSE(err.find("ok")->as_bool());
+  EXPECT_EQ(err.find("error")->as_string(), "bad_request");
+  EXPECT_EQ(err.find("detail")->as_string(), "x\"y");
+
+  const JsonValue anon =
+      parse_json(net::render_error(std::nullopt, "bad_request", ""));
+  EXPECT_EQ(anon.find("id"), nullptr);
+
+  const JsonValue over = parse_json(net::render_overloaded(3, "server"));
+  EXPECT_TRUE(over.find("overloaded")->as_bool());
+  EXPECT_EQ(over.find("scope")->as_string(), "server");
+}
+
+TEST(NetProtocol, StripCrNormalizesWindowsLineEndings) {
+  // The shared helper both the rlvd batch reader and the wire protocol
+  // run every line through before parsing.
+  EXPECT_EQ(strip_cr("{\"op\":\"ping\"}\r"), "{\"op\":\"ping\"}");
+  EXPECT_EQ(strip_cr("plain"), "plain");
+  EXPECT_EQ(strip_cr("\r"), "");
+  EXPECT_EQ(strip_cr(""), "");
+  const net::Request req = net::parse_request(
+      strip_cr("{\"system\":\"S\",\"formula\":\"G F a\"}\r"));
+  EXPECT_EQ(req.query.system, "S");
+}
+
+// ---------------------------------------------------------------------------
+// render_stats round trip.
+
+TEST(NetProtocol, RenderStatsRoundTripsThroughJsonParser) {
+  Engine engine;
+  Query query{serialize_system(figure2_system()), "G F result",
+              CheckKind::kRelativeLiveness};
+  (void)engine.run({query, query});
+
+  const std::string rendered = render_stats(engine.stats());
+  const JsonValue root = parse_json(rendered);
+  EXPECT_EQ(root.find("queries")->as_uint(), 2u);
+  EXPECT_EQ(root.find("certificates_checked")->as_uint(), 0u);
+  const JsonValue* caches = root.find("caches");
+  ASSERT_NE(caches, nullptr);
+  for (const char* name :
+       {"systems", "behaviors", "prefixes", "translations", "properties",
+        "verdicts", "total"}) {
+    const JsonValue* cache = caches->find(name);
+    ASSERT_NE(cache, nullptr) << name;
+    ASSERT_NE(cache->find("hits"), nullptr) << name;
+    ASSERT_NE(cache->find("misses"), nullptr) << name;
+    ASSERT_NE(cache->find("evictions"), nullptr) << name;
+  }
+  // The identical second query must have hit the verdict cache.
+  EXPECT_GE(caches->find("verdicts")->find("hits")->as_uint(), 1u);
+  const JsonValue* stages = root.find("stages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_NE(stages->find("parse"), nullptr);
+  EXPECT_GE(stages->find("parse")->find("calls")->as_uint(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine::submit (the serving hook).
+
+TEST(NetEngineSubmit, CallbacksDeliverSameVerdictsAsRun) {
+  EngineOptions options;
+  options.jobs = 2;
+  Engine engine(options);
+
+  std::vector<Query> queries;
+  queries.push_back({serialize_system(figure2_system()), "G F result",
+                     CheckKind::kRelativeLiveness});
+  queries.push_back({serialize_system(figure3_system()), "G F result",
+                     CheckKind::kRelativeLiveness});
+  queries.push_back({serialize_system(figure2_system()), "G F result",
+                     CheckKind::kSatisfaction});
+
+  std::vector<Verdict> got(queries.size());
+  std::atomic<std::size_t> done{0};
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    engine.submit(queries[i], [&, i](Verdict verdict) {
+      got[i] = std::move(verdict);
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  while (done.load(std::memory_order_acquire) < queries.size()) {
+    std::this_thread::yield();
+  }
+
+  Engine reference;
+  const std::vector<Verdict> expected = reference.run(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(got[i].holds, expected[i].holds) << "query " << i;
+    EXPECT_EQ(got[i].error, expected[i].error) << "query " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server integration over real sockets.
+
+/// An Engine + Server on an ephemeral loopback port with the event loop on
+/// its own thread; tears down via the same graceful drain the daemon uses.
+class TestServer {
+ public:
+  explicit TestServer(net::ServerOptions server_options = {},
+                      EngineOptions engine_options = {}) {
+    if (engine_options.jobs < 2) engine_options.jobs = 2;
+    engine_ = std::make_unique<Engine>(engine_options);
+    server_options.bind_address = "127.0.0.1";
+    server_options.port = 0;
+    server_ = std::make_unique<net::Server>(*engine_, server_options);
+    port_ = server_->start();
+    loop_ = std::thread([this] { server_->run(); });
+  }
+
+  ~TestServer() {
+    server_->request_stop();
+    loop_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] Engine& engine() { return *engine_; }
+  [[nodiscard]] net::Server& server() { return *server_; }
+
+  [[nodiscard]] net::Client connect_client() const {
+    net::Client client;
+    client.connect("127.0.0.1", port_);
+    return client;
+  }
+
+ private:
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<net::Server> server_;
+  std::uint16_t port_ = 0;
+  std::thread loop_;
+};
+
+/// The dense all-initial property automaton of tools/samples/hard_prop.rlv,
+/// generated over the Figure 2 alphabet: rank-based complementation of this
+/// (any rs/sat check) reliably outlives small budgets.
+std::string dense_property_text() {
+  const char* letters[] = {"lock", "free",   "request", "yes",
+                           "no",   "result", "reject"};
+  std::string text =
+      "alphabet: lock free request yes no result reject\n"
+      "states: 6\ninitial: 0 1 2 3 4 5\naccepting: 0\n";
+  for (int from = 0; from < 6; ++from) {
+    for (const char* letter : letters) {
+      for (int to = 0; to < 6; ++to) {
+        text += std::to_string(from) + " " + letter + " " +
+                std::to_string(to) + "\n";
+      }
+    }
+  }
+  return text;
+}
+
+TEST(NetServer, PingStatsAndCrlfLines) {
+  TestServer ts;
+  net::Client client = ts.connect_client();
+
+  const JsonValue pong = parse_json(client.call(R"({"op":"ping","id":5})"));
+  EXPECT_EQ(pong.find("id")->as_uint(), 5u);
+  EXPECT_TRUE(pong.find("ok")->as_bool());
+  EXPECT_TRUE(pong.find("pong")->as_bool());
+
+  // A Windows client: the protocol strips the \r, same as the batch reader.
+  const JsonValue pong2 =
+      parse_json(client.call("{\"op\":\"ping\",\"id\":6}\r"));
+  EXPECT_EQ(pong2.find("id")->as_uint(), 6u);
+  EXPECT_TRUE(pong2.find("ok")->as_bool());
+
+  const JsonValue stats = parse_json(client.call(R"({"op":"stats","id":7})"));
+  EXPECT_TRUE(stats.find("ok")->as_bool());
+  ASSERT_NE(stats.find("stats"), nullptr);
+  EXPECT_EQ(stats.find("stats")->find("queries")->as_uint(), 0u);
+  const JsonValue* server = stats.find("server");
+  ASSERT_NE(server, nullptr);
+  EXPECT_GE(server->find("connections_accepted")->as_uint(), 1u);
+  EXPECT_EQ(server->find("queries")->as_uint(), 0u);
+  EXPECT_FALSE(server->find("draining")->as_bool());
+}
+
+TEST(NetServer, FourConcurrentClientsMatchDirectEngine) {
+  TestServer ts;
+
+  std::vector<Query> queries;
+  const std::string fig2 = serialize_system(figure2_system());
+  const std::string fig3 = serialize_system(figure3_system());
+  for (const std::string& system : {fig2, fig3}) {
+    for (const CheckKind kind :
+         {CheckKind::kRelativeLiveness, CheckKind::kRelativeSafety,
+          CheckKind::kSatisfaction}) {
+      queries.push_back({system, "G F result", kind});
+      queries.push_back({system, "G(request -> F(result || reject))", kind});
+    }
+  }
+  Engine reference;
+  const std::vector<Verdict> expected = reference.run(queries);
+
+  constexpr std::size_t kClients = 4;
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        net::Client client;
+        client.connect("127.0.0.1", ts.port());
+        // Walk the workload from a per-client offset so the cache sees
+        // concurrent misses for *different* keys, not a lockstep scan.
+        for (std::size_t i = 0; i < queries.size(); ++i) {
+          const std::size_t k = (i + c * 3) % queries.size();
+          const std::uint64_t id = c * 1000 + k;
+          const net::Response response = net::parse_response(
+              client.call(net::render_query_request(queries[k], id)));
+          if (!response.ok || !response.has_holds ||
+              response.id != id ||
+              response.holds != expected[k].holds) {
+            failures[c] = "query " + std::to_string(k) + " diverged: " +
+                          response.raw;
+            return;
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  for (std::size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+
+  // 4 clients x 12 queries over 12 distinct verdict keys: the shared cache
+  // must have absorbed the repeats.
+  net::Client client = ts.connect_client();
+  const JsonValue stats = parse_json(client.call(R"({"op":"stats"})"));
+  const JsonValue* verdicts =
+      stats.find("stats")->find("caches")->find("verdicts");
+  ASSERT_NE(verdicts, nullptr);
+  EXPECT_EQ(verdicts->find("hits")->as_uint() +
+                verdicts->find("misses")->as_uint(),
+            kClients * queries.size());
+  EXPECT_GE(verdicts->find("hits")->as_uint(), 2u * queries.size());
+  EXPECT_EQ(stats.find("server")->find("overload_rejects")->as_uint(), 0u);
+}
+
+TEST(NetServer, OverloadRejectsPipelinedRequestsServerScope) {
+  net::ServerOptions options;
+  options.max_inflight = 1;
+  TestServer ts(options);
+  net::Client client = ts.connect_client();
+
+  Query query{serialize_system(figure2_system()), "G F result",
+              CheckKind::kRelativeLiveness};
+  // One send(2) carrying two requests: both lines are parsed in the same
+  // event-loop pass, before any completion can drain, so the second always
+  // sees the first in flight — deterministic overload.
+  client.send_line(net::render_query_request(query, 1) + "\n" +
+                   net::render_query_request(query, 2));
+  const net::Response first = net::parse_response(client.read_line());
+  const net::Response second = net::parse_response(client.read_line());
+
+  EXPECT_TRUE(first.overloaded);
+  EXPECT_EQ(first.id, 2u);
+  EXPECT_EQ(parse_json(first.raw).find("scope")->as_string(), "server");
+  EXPECT_TRUE(second.ok);
+  EXPECT_EQ(second.id, 1u);
+  EXPECT_TRUE(second.has_holds);
+}
+
+TEST(NetServer, OverloadRejectsPipelinedRequestsConnectionScope) {
+  net::ServerOptions options;
+  options.max_inflight_per_connection = 1;
+  TestServer ts(options);
+  net::Client client = ts.connect_client();
+
+  Query query{serialize_system(figure2_system()), "G F result",
+              CheckKind::kRelativeLiveness};
+  client.send_line(net::render_query_request(query, 1) + "\n" +
+                   net::render_query_request(query, 2));
+  const net::Response reject = net::parse_response(client.read_line());
+  EXPECT_TRUE(reject.overloaded);
+  EXPECT_EQ(parse_json(reject.raw).find("scope")->as_string(), "connection");
+  EXPECT_TRUE(net::parse_response(client.read_line()).ok);
+}
+
+TEST(NetServer, BadJsonGetsErrorThenClose) {
+  TestServer ts;
+  net::Client client = ts.connect_client();
+  const net::Response response =
+      net::parse_response(client.call("this is not json"));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, "bad_request");
+  // The stream is desynced, so the server answers once and closes.
+  EXPECT_THROW((void)client.read_line(), std::runtime_error);
+}
+
+TEST(NetServer, UnknownFieldGetsBadRequest) {
+  TestServer ts;
+  net::Client client = ts.connect_client();
+  const net::Response response = net::parse_response(
+      client.call(R"({"system":"S","formual":"G F a"})"));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, "bad_request");
+  EXPECT_NE(parse_json(response.raw).find("detail")->as_string().find(
+                "formual"),
+            std::string::npos);
+}
+
+TEST(NetServer, OversizedRequestLineRejected) {
+  net::ServerOptions options;
+  options.max_request_bytes = 1024;
+  TestServer ts(options);
+  net::Client client = ts.connect_client();
+  client.send_line(std::string(4096, 'a'));  // one huge unterminated-ish line
+  const net::Response response = net::parse_response(client.read_line());
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, "bad_request");
+  EXPECT_THROW((void)client.read_line(), std::runtime_error);
+}
+
+TEST(NetServer, ServerCapsClampRequestedBudget) {
+  net::ServerOptions options;
+  options.limits.max_timeout_ms = 150;
+  options.limits.max_max_states = 20000;
+  TestServer ts(options);
+  net::Client client = ts.connect_client();
+
+  Query hard;
+  hard.system = serialize_system(figure2_system());
+  hard.property_automaton = dense_property_text();
+  hard.kind = CheckKind::kRelativeSafety;
+  hard.timeout_ms = 600000;  // the client asks for ten minutes...
+  hard.max_states = 100000000;
+  const net::Response response = net::parse_response(
+      client.call(net::render_query_request(hard, 9, "dense")));
+  // ...and the server's caps win: the rank-based complementation trips the
+  // clamped budget instead of running for minutes.
+  EXPECT_TRUE(response.resource_exhausted) << response.raw;
+}
+
+TEST(NetServer, SurvivesMidResponseDisconnect) {
+  TestServer ts;
+  Query query{serialize_system(figure2_system()), "G F result",
+              CheckKind::kRelativeLiveness};
+  // Fire queries and slam the connection shut before reading the response;
+  // the completion arrives for a dead connection and any write hits
+  // EPIPE/ECONNRESET. MSG_NOSIGNAL + SIG_IGN must keep the daemon alive.
+  for (int round = 0; round < 3; ++round) {
+    net::Client client = ts.connect_client();
+    client.send_line(net::render_query_request(query, 1));
+    // RST (not FIN) makes the pending response write fail hard.
+    struct linger hard_close{1, 0};
+    ::setsockopt(client.fd(), SOL_SOCKET, SO_LINGER, &hard_close,
+                 sizeof hard_close);
+    client.close();
+  }
+  net::Client probe = ts.connect_client();
+  const JsonValue pong = parse_json(probe.call(R"({"op":"ping","id":1})"));
+  EXPECT_TRUE(pong.find("ok")->as_bool());
+}
+
+TEST(NetServer, IdleConnectionsAreClosed) {
+  net::ServerOptions options;
+  options.idle_timeout_ms = 100;
+  TestServer ts(options);
+  net::Client client = ts.connect_client();
+  // No request: the server must EOF us, not hold the socket forever.
+  EXPECT_THROW((void)client.read_line(), std::runtime_error);
+}
+
+TEST(NetServer, GracefulDrainAnswersInFlightThenCloses) {
+  TestServer ts;
+  net::Client client = ts.connect_client();
+  Query query{serialize_system(token_ring(5)), "G F pass_0",
+              CheckKind::kRelativeLiveness};
+  client.send_line(net::render_query_request(query, 11));
+  // Wait for the submission to reach the engine, then start the drain with
+  // the query genuinely in flight.
+  while (ts.server().counters().queries < 1) std::this_thread::yield();
+  ts.server().request_stop();
+  const net::Response response = net::parse_response(client.read_line());
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.id, 11u);
+  EXPECT_TRUE(response.has_holds);
+  // After the drain the server closes the connection and new connects fail.
+  EXPECT_THROW((void)client.read_line(), std::runtime_error);
+  net::Client late;
+  EXPECT_THROW(late.connect("127.0.0.1", ts.port()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rlv

@@ -1,0 +1,234 @@
+// rlv_loadgen — closed-loop load generator for `rlvd --serve`.
+//
+// Opens N connections, each driving M requests back-to-back (send one,
+// wait for the response, send the next) over a fixed mixed workload built
+// from the rlv::gen families (Figure 2/3 servers, token rings) across
+// rl/rs/sat checks — the many-properties-few-systems shape the engine
+// caches exist for. Reports throughput and latency percentiles as one
+// JSON line on stdout:
+//
+//   {"loadgen":{"connections":4,"requests_per_connection":64,"total":256,
+//    "errors":0,"overloaded":0,"exhausted":0,"wall_ms":812.4,
+//    "throughput_rps":315.1,
+//    "latency_ms":{"p50":2.90,"p95":5.81,"p99":9.22,"max":31.0}}}
+//
+// With --stats, a final `stats` request is issued on a fresh connection
+// and the raw response (EngineStats + server counters) is printed on
+// stdout — the cache-effectiveness record E25 consumes.
+//
+// Exit status: 0 = every response was a well-formed verdict (overload
+// rejections and resource_exhausted are counted, not errors), 1 = at
+// least one error/protocol failure, 2 = bad invocation or connect
+// failure.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rlv/engine/query.hpp"
+#include "rlv/gen/families.hpp"
+#include "rlv/io/format.hpp"
+#include "rlv/net/client.hpp"
+
+namespace {
+
+using namespace rlv;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rlv_loadgen --port P [--host H] [--connections N]"
+               " [--requests M] [--certify] [--stats]\n");
+  return 2;
+}
+
+struct WorkItem {
+  Query query;
+  std::string label;
+};
+
+/// The serving workload: few systems, many properties, repeated across
+/// every connection — maximal cache sharing, like production traffic.
+std::vector<WorkItem> build_workload(bool certify) {
+  const std::string fig2 = serialize_system(figure2_system());
+  const std::string fig3 = serialize_system(figure3_system());
+  const std::string ring3 = serialize_system(token_ring(3));
+  const std::string ring5 = serialize_system(token_ring(5));
+
+  std::vector<WorkItem> items;
+  const auto add = [&](const std::string& system, const char* formula,
+                       CheckKind kind, const char* label) {
+    Query query;
+    query.system = system;
+    query.formula = formula;
+    query.kind = kind;
+    query.certify = certify;
+    items.push_back({std::move(query), label});
+  };
+  add(fig2, "G F result", CheckKind::kRelativeLiveness, "fig2");
+  add(fig2, "G F result", CheckKind::kRelativeSafety, "fig2");
+  add(fig2, "G F result", CheckKind::kSatisfaction, "fig2");
+  add(fig2, "G(result -> !(X result))", CheckKind::kSatisfaction, "fig2");
+  add(fig2, "G(request -> F (result | reject))", CheckKind::kRelativeLiveness,
+      "fig2");
+  add(fig3, "G F result", CheckKind::kRelativeLiveness, "fig3");
+  add(fig3, "G F result", CheckKind::kRelativeSafety, "fig3");
+  add(ring3, "G F pass_0", CheckKind::kRelativeLiveness, "ring3");
+  add(ring3, "G F work_1", CheckKind::kRelativeLiveness, "ring3");
+  add(ring5, "G F pass_0", CheckKind::kRelativeLiveness, "ring5");
+  add(ring5, "G F pass_0", CheckKind::kSatisfaction, "ring5");
+  add(fig2, "F G result", CheckKind::kRelativeSafety, "fig2");
+  return items;
+}
+
+struct ThreadResult {
+  std::vector<double> latencies_ms;
+  std::uint64_t errors = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t exhausted = 0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::size_t connections = 4;
+  std::size_t requests = 64;
+  bool certify = false;
+  bool want_stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--connections" && i + 1 < argc) {
+      connections = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--requests" && i + 1 < argc) {
+      requests = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--certify") {
+      certify = true;
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else {
+      return usage();
+    }
+  }
+  if (port <= 0 || port > 65535 || connections == 0 || requests == 0) {
+    return usage();
+  }
+
+  const std::vector<WorkItem> workload = build_workload(certify);
+
+  // Fail fast (exit 2) when the server is not there at all.
+  try {
+    net::Client probe;
+    probe.connect(host, static_cast<std::uint16_t>(port));
+    (void)probe.call("{\"op\":\"ping\"}");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  std::vector<ThreadResult> results(connections);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (std::size_t t = 0; t < connections; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadResult& result = results[t];
+      result.latencies_ms.reserve(requests);
+      net::Client client;
+      try {
+        client.connect(host, static_cast<std::uint16_t>(port));
+      } catch (const std::exception&) {
+        result.errors += requests;
+        return;
+      }
+      for (std::size_t i = 0; i < requests; ++i) {
+        // Stagger the walk so concurrent connections mix the workload.
+        const WorkItem& item = workload[(i + t * 7) % workload.size()];
+        const std::uint64_t id = t * requests + i;
+        const auto sent = std::chrono::steady_clock::now();
+        try {
+          const std::string line = client.call(
+              net::render_query_request(item.query, id, item.label));
+          const net::Response response = net::parse_response(line);
+          result.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - sent)
+                  .count());
+          if (response.id != id) {
+            ++result.errors;
+          } else if (response.overloaded) {
+            ++result.overloaded;
+          } else if (response.resource_exhausted) {
+            ++result.exhausted;
+          } else if (!response.ok) {
+            ++result.errors;
+          }
+        } catch (const std::exception&) {
+          result.errors += requests - i;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  std::vector<double> latencies;
+  std::uint64_t errors = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t exhausted = 0;
+  for (ThreadResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_ms.begin(),
+                     result.latencies_ms.end());
+    errors += result.errors;
+    overloaded += result.overloaded;
+    exhausted += result.exhausted;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const std::uint64_t total = connections * requests;
+  const double throughput =
+      wall_ms > 0 ? static_cast<double>(latencies.size()) / (wall_ms / 1000.0)
+                  : 0.0;
+  std::printf(
+      "{\"loadgen\":{\"connections\":%zu,\"requests_per_connection\":%zu,"
+      "\"total\":%llu,\"errors\":%llu,\"overloaded\":%llu,\"exhausted\":%llu,"
+      "\"wall_ms\":%.1f,\"throughput_rps\":%.1f,"
+      "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,\"max\":%.3f}}}\n",
+      connections, requests, static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(overloaded),
+      static_cast<unsigned long long>(exhausted), wall_ms, throughput,
+      percentile(latencies, 0.50), percentile(latencies, 0.95),
+      percentile(latencies, 0.99),
+      latencies.empty() ? 0.0 : latencies.back());
+
+  if (want_stats) {
+    try {
+      net::Client client;
+      client.connect(host, static_cast<std::uint16_t>(port));
+      std::puts(client.call("{\"op\":\"stats\"}").c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: stats request failed: %s\n", e.what());
+      return 1;
+    }
+  }
+  return errors == 0 ? 0 : 1;
+}

@@ -1,9 +1,20 @@
-// rlvd — batch verification server front end for rlv::engine.
+// rlvd — batch verification front end and serving daemon for rlv::engine.
 //
-// Reads a line-oriented request protocol from a file (or stdin when the
-// path is "-" or omitted), executes every query through the concurrent
-// engine, and emits exactly one JSON object per query, in input order, on
-// stdout. Request lines:
+// Two modes share one engine and one record format:
+//
+//   batch (default)   read a line-oriented request file, answer, exit;
+//   --serve <port>    stay resident, own the engine and its warm caches,
+//                     and serve the newline-delimited JSON protocol of
+//                     src/rlv/net/protocol.hpp to concurrent TCP clients.
+//                     SIGINT/SIGTERM triggers a graceful drain (stop
+//                     accepting, finish in-flight queries under their
+//                     Budget deadlines, flush responses, exit 0).
+//
+// In batch mode rlvd reads from a file (or stdin when the path is "-" or
+// omitted), executes every query through the concurrent engine, and emits
+// exactly one JSON object per query, in input order, on stdout. Request
+// lines (CRLF input is accepted — lines are chomped through
+// rlv::strip_cr, the same helper the network protocol uses):
 //
 //   <system-file> [--check rl|rs|sat|fair|fairweak]
 //                 [--algorithm subset|antichain] [--threads N]
@@ -49,10 +60,23 @@
 //                   an "error" naming the failed certificate
 //   --metrics       emit an end-of-batch JSON metrics summary on stdout
 //
-// Exit status: 0 = every line executed (whatever the verdicts), 2 = bad
-// invocation, unreadable batch file, or a malformed request line.
+// Serving options (with --serve; --timeout-ms doubles as the cap on
+// client-supplied budgets and defaults to 30000 when unset, so drain can
+// rely on every in-flight query expiring):
+//   --bind ADDR            listen address (default 127.0.0.1)
+//   --max-inflight N       global concurrent-query bound (default 64)
+//   --max-conn-inflight N  per-connection bound (default 8)
+//   --max-connections N    accepted-client bound (default 256)
+//   --idle-timeout-ms N    close silent connections (default 120000)
+//   --drain-timeout-ms N   graceful-shutdown bound (default 5000)
+//
+// Exit status: 0 = every line executed (whatever the verdicts) or clean
+// serve shutdown, 2 = bad invocation, unreadable batch file, or a
+// malformed request line.
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -64,6 +88,7 @@
 #include "rlv/engine/engine.hpp"
 #include "rlv/engine/record.hpp"
 #include "rlv/io/format.hpp"
+#include "rlv/net/server.hpp"
 
 namespace {
 
@@ -74,10 +99,64 @@ int usage() {
       stderr,
       "usage: rlvd [<batch-file>|-] [--jobs N] [--cache N] [--timeout-ms N]"
       " [--max-states N] [--threads N] [--certify] [--metrics]\n"
+      "       rlvd --serve <port> [--bind ADDR] [--jobs N] [--cache N]"
+      " [--timeout-ms N] [--max-states N] [--threads N] [--certify]\n"
+      "            [--max-inflight N] [--max-conn-inflight N]"
+      " [--max-connections N] [--idle-timeout-ms N] [--drain-timeout-ms N]\n"
       "  batch line: <system-file> [--check rl|rs|sat|fair|fairweak]"
       " [--algorithm subset|antichain] [--threads N]"
       " [--property-aut <file>] [<formula...>]\n");
   return 2;
+}
+
+std::atomic<net::Server*> g_server{nullptr};
+
+void handle_stop_signal(int) {
+  if (net::Server* server = g_server.load(std::memory_order_acquire)) {
+    server->request_stop();  // async-signal-safe: atomic store + pipe write
+  }
+}
+
+int serve(EngineOptions engine_options, net::ServerOptions server_options) {
+  // The event loop never executes queries; that takes a real worker pool.
+  if (engine_options.jobs < 2) engine_options.jobs = 2;
+  // Serving without any per-query deadline would leave drain at the mercy
+  // of the slowest query; default the cap (which also serves as the
+  // per-request default) unless the operator chose one.
+  if (engine_options.timeout_ms == 0) engine_options.timeout_ms = 30000;
+  server_options.limits.max_timeout_ms = engine_options.timeout_ms;
+  server_options.limits.max_max_states = engine_options.max_states;
+  server_options.limits.max_threads =
+      std::max<std::size_t>(engine_options.intra_query_threads, 1);
+
+  Engine engine(engine_options);
+  net::Server server(engine, server_options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  g_server.store(&server, std::memory_order_release);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::fprintf(stderr, "rlvd: serving on %s:%u (jobs=%zu, timeout-ms=%llu)\n",
+               server_options.bind_address.c_str(), server.port(),
+               engine_options.jobs,
+               static_cast<unsigned long long>(engine_options.timeout_ms));
+  server.run();
+  g_server.store(nullptr, std::memory_order_release);
+  const net::ServerCounters counters = server.counters();
+  std::fprintf(stderr,
+               "rlvd: drained (connections=%llu, requests=%llu, "
+               "queries=%llu, overload_rejects=%llu, protocol_errors=%llu)\n",
+               static_cast<unsigned long long>(counters.connections_accepted),
+               static_cast<unsigned long long>(counters.requests),
+               static_cast<unsigned long long>(counters.queries),
+               static_cast<unsigned long long>(counters.overload_rejects),
+               static_cast<unsigned long long>(counters.protocol_errors));
+  std::fprintf(stderr, "rlvd: %s\n", render_stats(engine.stats()).c_str());
+  return 0;
 }
 
 struct Request {
@@ -157,24 +236,44 @@ std::optional<Request> parse_request_line(const std::string& line,
   return request;
 }
 
-void print_counters(std::ostream& out, const char* name,
-                    const CacheCounters& c) {
-  out << '"' << name << "\":{\"hits\":" << c.hits
-      << ",\"misses\":" << c.misses << ",\"evictions\":" << c.evictions
-      << '}';
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string batch_path = "-";
   EngineOptions options;
+  net::ServerOptions server_options;
   bool have_path = false;
   bool metrics = false;
+  bool serve_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--jobs" && i + 1 < argc) {
+    if (arg == "--serve" && i + 1 < argc) {
+      const int port = std::atoi(argv[++i]);
+      if (port < 0 || port > 65535) return usage();
+      server_options.port = static_cast<std::uint16_t>(port);
+      serve_mode = true;
+    } else if (arg == "--bind" && i + 1 < argc) {
+      server_options.bind_address = argv[++i];
+    } else if (arg == "--max-inflight" && i + 1 < argc) {
+      server_options.max_inflight =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (server_options.max_inflight == 0) return usage();
+    } else if (arg == "--max-conn-inflight" && i + 1 < argc) {
+      server_options.max_inflight_per_connection =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (server_options.max_inflight_per_connection == 0) return usage();
+    } else if (arg == "--max-connections" && i + 1 < argc) {
+      server_options.max_connections =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (server_options.max_connections == 0) return usage();
+    } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+      server_options.idle_timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--drain-timeout-ms" && i + 1 < argc) {
+      server_options.drain_timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--jobs" && i + 1 < argc) {
       options.jobs = static_cast<std::size_t>(std::atoi(argv[++i]));
       if (options.jobs == 0) return usage();
     } else if (arg == "--cache" && i + 1 < argc) {
@@ -202,6 +301,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (serve_mode) {
+    if (have_path || metrics) return usage();
+    try {
+      return serve(options, server_options);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
   std::string base_dir;
   std::istringstream file_input;
   std::istream* in = &std::cin;
@@ -221,7 +330,10 @@ int main(int argc, char** argv) {
   std::string line;
   for (std::size_t line_number = 1; std::getline(*in, line); ++line_number) {
     try {
-      auto request = parse_request_line(line, base_dir);
+      // CRLF batch files (network clients, Windows editors) are chomped
+      // through the same helper the wire protocol uses.
+      auto request =
+          parse_request_line(std::string(strip_cr(line)), base_dir);
       if (request) requests.push_back(std::move(*request));
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: line %zu: %s\n", line_number, e.what());
@@ -248,49 +360,19 @@ int main(int argc, char** argv) {
   }
 
   const EngineStats stats = engine.stats();
+  const std::string stats_json = render_stats(stats);
 
   if (metrics) {
-    // End-of-batch machine-readable summary: per-stage totals (exclusive ms,
-    // calls, states, frontier peaks) plus batch wall time, on stdout so it
-    // rides the same pipe as the results.
+    // End-of-batch machine-readable summary: the shared EngineStats
+    // serialization (per-cache counters + per-stage calls/states/frontier
+    // peaks/exclusive ms) plus batch wall time, on stdout so it rides the
+    // same pipe as the results.
     std::ostringstream m;
-    m << "{\"metrics\":{\"queries\":" << stats.queries_run
-      << ",\"certificates_checked\":" << stats.certificates_checked
-      << ",\"certificates_failed\":" << stats.certificates_failed
-      << ",\"wall_ms\":" << batch_ms
-      << ",\"stage_ms\":" << render_stage_times(stats.stages);
-    m << ",\"stage_detail\":{";
-    bool first = true;
-    for (std::size_t i = 0; i < kNumStages; ++i) {
-      const StageMetrics& sm = stats.stages.stages[i];
-      if (sm.calls == 0 && sm.nanos == 0) continue;
-      if (!first) m << ',';
-      first = false;
-      m << '"' << stage_name(static_cast<Stage>(i))
-        << "\":{\"calls\":" << sm.calls << ",\"states\":" << sm.states_built
-        << ",\"peak_frontier\":" << sm.peak_antichain
-        << ",\"ms\":" << static_cast<double>(sm.nanos) / 1e6 << '}';
-    }
-    m << "}}}";
+    m << "{\"metrics\":{\"wall_ms\":" << batch_ms
+      << ",\"stats\":" << stats_json << "}}";
     std::puts(m.str().c_str());
   }
 
-  std::ostringstream summary;
-  summary << "{\"queries\":" << stats.queries_run
-          << ",\"certificates_checked\":" << stats.certificates_checked
-          << ",\"certificates_failed\":" << stats.certificates_failed << ',';
-  print_counters(summary, "systems", stats.systems);
-  summary << ',';
-  print_counters(summary, "behaviors", stats.behaviors);
-  summary << ',';
-  print_counters(summary, "prefixes", stats.prefixes);
-  summary << ',';
-  print_counters(summary, "translations", stats.translations);
-  summary << ',';
-  print_counters(summary, "properties", stats.properties);
-  summary << ',';
-  print_counters(summary, "verdicts", stats.verdicts);
-  summary << '}';
-  std::fprintf(stderr, "rlvd: %s\n", summary.str().c_str());
+  std::fprintf(stderr, "rlvd: %s\n", stats_json.c_str());
   return 0;
 }
