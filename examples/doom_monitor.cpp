@@ -19,7 +19,7 @@
 
 namespace {
 
-const char* verdict_name(rlv::MonitorVerdict v) {
+const char* describe(rlv::MonitorVerdict v) {
   switch (v) {
     case rlv::MonitorVerdict::kSatisfiable:
       return "ok";
@@ -53,7 +53,7 @@ int main() {
     for (const char* action : script) {
       const MonitorVerdict verdict =
           monitor.step(graph.alphabet()->id(action));
-      std::printf("  %-8s -> %s\n", action, verdict_name(verdict));
+      std::printf("  %-8s -> %s\n", action, describe(verdict));
     }
     std::printf("\n");
   }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates the committed serving benchmarks: BENCH_net.json (the E25
+# one-shot query workload) and BENCH_monitor.json (the E26 streaming
+# monitor workload). Each file holds the loadgen summary line followed by
+# the daemon's stats record for the same run, so throughput numbers can be
+# read next to cache hit rates and session counters. Run on an otherwise
+# idle machine; numbers move with core count.
+#
+# usage: scripts/bench_refresh.sh [port] [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-7424}"
+BUILD="${2:-build}"
+
+cmake --build "$BUILD" --target rlvd rlv_loadgen -j
+
+"$BUILD"/tools/rlvd --serve "$PORT" --jobs 2 &
+SERVER=$!
+trap 'kill -9 "$SERVER" 2>/dev/null || true' EXIT
+sleep 1
+
+"$BUILD"/tools/rlv_loadgen --port "$PORT" \
+  --connections 4 --requests 256 --stats > BENCH_net.json
+
+"$BUILD"/tools/rlv_loadgen --port "$PORT" --monitor \
+  --sessions 8 --events 2000 --batch 64 --stats > BENCH_monitor.json
+
+kill -TERM "$SERVER"
+wait "$SERVER"
+trap - EXIT
+
+echo "wrote BENCH_net.json, BENCH_monitor.json:"
+head -c 400 BENCH_net.json; echo
+head -c 400 BENCH_monitor.json; echo

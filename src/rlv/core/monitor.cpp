@@ -1,138 +1,31 @@
 #include "rlv/core/monitor.hpp"
 
-#include <algorithm>
-#include <vector>
-
-#include "rlv/lang/ops.hpp"
-#include "rlv/ltl/translate.hpp"
-#include "rlv/omega/live.hpp"
-#include "rlv/omega/product.hpp"
-
 namespace rlv {
 
 DoomMonitor::DoomMonitor(const Buchi& system, const Buchi& property)
-    : satisfiable_((require_same_alphabet(system.alphabet(),
-                                          property.alphabet(), "DoomMonitor"),
-                    determinize(prefix_nfa(intersect_buchi(system, property))))),
-      system_pre_(determinize(prefix_nfa(system))) {
-  init();
-}
+    : DoomMonitor(std::make_shared<const monitor::MonitorAutomaton>(
+          system, property)) {}
 
 DoomMonitor::DoomMonitor(const Buchi& system, Formula f,
                          const Labeling& lambda)
-    : DoomMonitor(system, translate_ltl(f, lambda)) {}
+    : DoomMonitor(std::make_shared<const monitor::MonitorAutomaton>(
+          system, f, lambda)) {}
 
-void DoomMonitor::init() {
-  sat_state_ = satisfiable_.initial();
-  sys_state_ = system_pre_.initial();
-  position_ = 0;
-  // An empty system (or empty intersection) dooms/ejects the empty trace
-  // already: a prefix automaton with an empty language has a non-accepting
-  // initial state.
-  if (sys_state_ == kNoState || !system_pre_.is_accepting(sys_state_)) {
-    verdict_ = MonitorVerdict::kLeftSystem;
-  } else if (sat_state_ == kNoState ||
-             !satisfiable_.is_accepting(sat_state_)) {
-    verdict_ = MonitorVerdict::kDoomed;
-  } else {
-    verdict_ = MonitorVerdict::kSatisfiable;
-  }
-}
-
-void DoomMonitor::reset() { init(); }
-
-MonitorVerdict DoomMonitor::step(Symbol a) {
-  ++position_;
-  if (verdict_ == MonitorVerdict::kLeftSystem) return verdict_;
-
-  if (sys_state_ != kNoState) sys_state_ = system_pre_.next(sys_state_, a);
-  if (sys_state_ == kNoState) {
-    verdict_ = MonitorVerdict::kLeftSystem;
-    return verdict_;
-  }
-  if (verdict_ == MonitorVerdict::kDoomed) return verdict_;
-
-  if (sat_state_ != kNoState) sat_state_ = satisfiable_.next(sat_state_, a);
-  if (sat_state_ == kNoState) {
-    verdict_ = MonitorVerdict::kDoomed;
-  }
-  return verdict_;
-}
-
-std::optional<Word> DoomMonitor::shortest_doomed_prefix() const {
-  // BFS over pairs (system_pre state, satisfiable state-or-dead). A pair
-  // with a live system state and a dead satisfiable state is a doom.
-  const std::size_t sigma = system_pre_.alphabet()->size();
-  const std::size_t n_sys = system_pre_.num_states();
-  const std::size_t n_sat = satisfiable_.num_states() + 1;  // +1 = dead
-  const std::size_t dead = n_sat - 1;
-
-  auto encode = [&](State sys, std::size_t sat) { return sys * n_sat + sat; };
-
-  std::vector<std::pair<std::uint32_t, Symbol>> parent(
-      n_sys * n_sat, {0xffffffffU, 0});
-  std::vector<bool> seen(n_sys * n_sat, false);
-  std::vector<std::uint32_t> queue;
-
-  if (system_pre_.initial() == kNoState ||
-      !system_pre_.is_accepting(system_pre_.initial())) {
-    return std::nullopt;  // the system has no behaviors at all
-  }
-  // The satisfiable automaton is all-accepting except when its language is
-  // empty (a single rejecting state): then ε itself is doomed.
-  const std::size_t sat0 =
-      (satisfiable_.initial() == kNoState ||
-       !satisfiable_.is_accepting(satisfiable_.initial()))
-          ? dead
-          : satisfiable_.initial();
-  const std::uint32_t start =
-      static_cast<std::uint32_t>(encode(system_pre_.initial(), sat0));
-  seen[start] = true;
-  queue.push_back(start);
-
-  auto build_word = [&](std::uint32_t node) {
-    Word w;
-    while (node != start) {
-      w.push_back(parent[node].second);
-      node = parent[node].first;
-    }
-    std::reverse(w.begin(), w.end());
-    return w;
-  };
-
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const std::uint32_t node = queue[head];
-    const State sys = static_cast<State>(node / n_sat);
-    const std::size_t sat = node % n_sat;
-    if (sat == dead) return build_word(node);
-
-    for (Symbol a = 0; a < sigma; ++a) {
-      const State nsys = system_pre_.next(sys, a);
-      if (nsys == kNoState) continue;  // left the system: not a doom
-      const State raw = satisfiable_.next(static_cast<State>(sat), a);
-      const std::size_t nsat = (raw == kNoState) ? dead : raw;
-      const std::uint32_t next =
-          static_cast<std::uint32_t>(encode(nsys, nsat));
-      if (seen[next]) continue;
-      seen[next] = true;
-      parent[next] = {node, a};
-      queue.push_back(next);
-    }
-  }
-  return std::nullopt;
-}
+DoomMonitor::DoomMonitor(
+    std::shared_ptr<const monitor::MonitorAutomaton> automaton)
+    : automaton_(std::move(automaton)), state_(automaton_->initial()) {}
 
 MonitorVerdict DoomMonitor::run(const Word& trace, std::size_t* first_doom) {
   if (first_doom) *first_doom = trace.size();
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    const MonitorVerdict before = verdict_;
+    const MonitorVerdict before = verdict();
     const MonitorVerdict after = step(trace[i]);
     if (first_doom && before == MonitorVerdict::kSatisfiable &&
         after != MonitorVerdict::kSatisfiable) {
       *first_doom = i;
     }
   }
-  return verdict_;
+  return verdict();
 }
 
 }  // namespace rlv

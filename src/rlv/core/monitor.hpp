@@ -11,28 +11,29 @@
 // "P can still hold" is a safety property whose violation has a finite
 // witness.
 //
-// The monitor precomputes the DFA of pre(L_ω ∩ P) ∪-split from pre(L_ω) and
-// then follows a trace letter by letter in O(1) per step, reporting:
-//
-//   kSatisfiable  — some continuation of the trace satisfies P,
-//   kDoomed       — the trace is a system behavior, but no continuation
-//                   satisfies P (dooms are permanent),
-//   kLeftSystem   — the trace is not a behavior of the system at all.
+// DoomMonitor is the offline, single-trace convenience face of the one
+// doom-judgment kernel, monitor::MonitorAutomaton (rlv/monitor/
+// automaton.hpp): construction compiles the complete product DFA of
+// pre(L_ω ∩ P) and pre(L_ω) once, and every step is one table lookup.
+// The streaming daemon (rlv::net monitor_open/step/close) runs sessions
+// over the very same compiled automata, so both paths judge identically
+// by construction.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
-#include "rlv/lang/dfa.hpp"
 #include "rlv/ltl/ast.hpp"
+#include "rlv/monitor/automaton.hpp"
 #include "rlv/omega/buchi.hpp"
 
 namespace rlv {
 
-enum class MonitorVerdict : std::uint8_t {
-  kSatisfiable,
-  kDoomed,
-  kLeftSystem,
-};
+/// kSatisfiable — some continuation of the trace satisfies P;
+/// kDoomed      — the trace is a system behavior, but no continuation
+///                satisfies P (dooms are permanent);
+/// kLeftSystem  — the trace is not a behavior of the system at all.
+using MonitorVerdict = monitor::Verdict;
 
 class DoomMonitor {
  public:
@@ -42,20 +43,34 @@ class DoomMonitor {
   DoomMonitor(const Buchi& system, const Buchi& property);
   DoomMonitor(const Buchi& system, Formula f, const Labeling& lambda);
 
+  /// Wraps an already-compiled automaton (the engine cache path), so N
+  /// monitors over one (system, property) pair share one table.
+  explicit DoomMonitor(
+      std::shared_ptr<const monitor::MonitorAutomaton> automaton);
+
   /// Consumes one observed action; returns the verdict after it. Verdicts
   /// only escalate: kSatisfiable -> kDoomed -> kLeftSystem is monotone in
   /// the sense that kDoomed and kLeftSystem are absorbing.
-  MonitorVerdict step(Symbol a);
+  MonitorVerdict step(Symbol a) {
+    ++position_;
+    state_ = automaton_->step(state_, a);
+    return automaton_->verdict(state_);
+  }
 
   /// Verdict for the trace consumed so far (kSatisfiable initially, unless
   /// the system itself is empty).
-  [[nodiscard]] MonitorVerdict verdict() const { return verdict_; }
+  [[nodiscard]] MonitorVerdict verdict() const {
+    return automaton_->verdict(state_);
+  }
 
   /// Number of symbols consumed.
   [[nodiscard]] std::size_t position() const { return position_; }
 
   /// Resets to the empty trace.
-  void reset();
+  void reset() {
+    state_ = automaton_->initial();
+    position_ = 0;
+  }
 
   /// Convenience: runs a whole word, returning the final verdict (and, via
   /// `first_doom`, the 0-based index of the step where doom struck, or the
@@ -65,18 +80,22 @@ class DoomMonitor {
   /// The shortest system behavior that is doomed (no continuation inside
   /// the system satisfies the property), or nullopt when none exists —
   /// which is exactly when the property is relative liveness (Def 4.1).
-  /// BFS over the product of the two monitor DFAs; the result is globally
-  /// minimal in length.
-  [[nodiscard]] std::optional<Word> shortest_doomed_prefix() const;
+  /// Precomputed by the compiled automaton; the result is globally minimal
+  /// in length.
+  [[nodiscard]] std::optional<Word> shortest_doomed_prefix() const {
+    return automaton_->shortest_doomed_prefix();
+  }
+
+  /// The shared compiled kernel (for callers that want to open further
+  /// monitors or sessions over it).
+  [[nodiscard]] const std::shared_ptr<const monitor::MonitorAutomaton>&
+  automaton() const {
+    return automaton_;
+  }
 
  private:
-  void init();
-
-  Dfa satisfiable_;  // DFA of pre(L_ω ∩ P): "still winnable" states
-  Dfa system_pre_;   // DFA of pre(L_ω): "still a behavior" states
-  State sat_state_ = kNoState;
-  State sys_state_ = kNoState;
-  MonitorVerdict verdict_ = MonitorVerdict::kSatisfiable;
+  std::shared_ptr<const monitor::MonitorAutomaton> automaton_;
+  std::uint32_t state_ = 0;
   std::size_t position_ = 0;
 };
 

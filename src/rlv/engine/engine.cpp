@@ -15,6 +15,7 @@
 #include "rlv/lang/inclusion.hpp"
 #include "rlv/lang/ops.hpp"
 #include "rlv/ltl/parser.hpp"
+#include "rlv/monitor/session.hpp"
 #include "rlv/ltl/translate.hpp"
 #include "rlv/omega/complement.hpp"
 #include "rlv/omega/emptiness.hpp"
@@ -111,6 +112,27 @@ struct PropertyKeyHash {
   }
 };
 
+/// Monitor automata are keyed like verdicts, minus kind/algorithm (there
+/// is only one compilation) plus the certify flag: a certified compile
+/// validated every doomed witness and must not alias an unvalidated one.
+struct MonitorKey {
+  std::uint64_t system;    // structural fingerprint
+  const void* formula;     // interned node (null for automaton flavor)
+  std::uint64_t property;  // remapped property fingerprint (0 for formula)
+  bool certify;
+
+  friend bool operator==(const MonitorKey&, const MonitorKey&) = default;
+};
+
+struct MonitorKeyHash {
+  std::size_t operator()(const MonitorKey& k) const {
+    std::size_t h = std::hash<std::uint64_t>{}(k.system);
+    h = hash_combine(h, std::hash<const void*>{}(k.formula));
+    h = hash_combine(h, std::hash<std::uint64_t>{}(k.property));
+    return hash_combine(h, k.certify ? 1 : 0);
+  }
+};
+
 /// The verdict key carries everything that determines a check's outcome
 /// *and presentation*: the inclusion algorithm is part of the key because
 /// subset and antichain report different (both correct) counterexample
@@ -147,6 +169,8 @@ struct Engine::Impl {
         translations(opts.cache_capacity),
         properties(opts.cache_capacity),
         verdicts(opts.cache_capacity * 8),
+        monitors(opts.cache_capacity),
+        sessions(opts.max_sessions),
         pool(opts.jobs <= 1 ? 0 : opts.jobs) {}
 
   EngineOptions options;
@@ -156,6 +180,16 @@ struct Engine::Impl {
   MemoCache<TranslationKey, Buchi, TranslationKeyHash> translations;
   MemoCache<PropertyKey, ParsedProperty, PropertyKeyHash> properties;
   MemoCache<VerdictKey, Verdict, VerdictKeyHash> verdicts;
+  MemoCache<MonitorKey, monitor::MonitorAutomaton, MonitorKeyHash> monitors;
+  /// The streaming-session state. One mutex guards the table: the hot path
+  /// holds it for a few table lookups per event, negligible next to the
+  /// socket round-trip that precedes every touch.
+  mutable std::mutex session_mutex;
+  monitor::SessionTable sessions;
+  const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> monitor_steps{0};
+  std::atomic<std::uint64_t> monitor_dooms{0};
   ThreadPool pool;
   std::atomic<std::uint64_t> queries_run{0};
   std::atomic<std::uint64_t> certificates_checked{0};
@@ -172,14 +206,13 @@ struct Engine::Impl {
     });
   }
 
-  std::shared_ptr<const ParsedProperty> property(const Query& query,
+  std::shared_ptr<const ParsedProperty> property(const std::string& text,
                                                  const AlphabetRef& sigma,
                                                  Budget* budget) {
-    const PropertyKey key{fingerprint_text(query.property_automaton),
-                          sigma.get()};
+    const PropertyKey key{fingerprint_text(text), sigma.get()};
     return properties.get_or_compute(key, [&] {
       StageScope scope(budget, Stage::kParse);
-      Buchi raw = parse_buchi(query.property_automaton);
+      Buchi raw = parse_buchi(text);
       Buchi remapped =
           Buchi::from_structure(remap_alphabet(raw.structure(), sigma));
       const std::uint64_t fp = fingerprint_buchi(remapped);
@@ -383,7 +416,7 @@ struct Engine::Impl {
       }
       std::shared_ptr<const ParsedProperty> prop;
       if (!query.property_automaton.empty()) {
-        prop = property(query, sys->nfa.alphabet(), &budget);
+        prop = property(query.property_automaton, sys->nfa.alphabet(), &budget);
       }
       const VerdictKey key{sys->fingerprint, f ? f->raw() : nullptr,
                            prop ? prop->fingerprint : 0, query.kind,
@@ -412,6 +445,157 @@ struct Engine::Impl {
             .count();
     return verdict;
   }
+
+  [[nodiscard]] std::uint64_t now_ms() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+  }
+
+  MonitorOpenResult open_monitor(const MonitorSpec& spec) {
+    const auto start = std::chrono::steady_clock::now();
+    MonitorOpenResult result;
+
+    Budget budget;
+    if (options.timeout_ms > 0) {
+      budget.set_deadline_in(std::chrono::milliseconds(options.timeout_ms));
+    }
+    if (options.max_states > 0) budget.set_max_states(options.max_states);
+
+    try {
+      if (!spec.formula.empty() && !spec.property_automaton.empty()) {
+        throw std::runtime_error(
+            "'formula' and 'property_automaton' are mutually exclusive");
+      }
+      if (spec.formula.empty() && spec.property_automaton.empty()) {
+        throw std::runtime_error("missing 'formula' or 'property_automaton'");
+      }
+      std::shared_ptr<const ParsedSystem> sys;
+      std::optional<Formula> f;
+      {
+        StageScope scope(&budget, Stage::kParse);
+        sys = systems.get_or_compute(fingerprint_text(spec.system), [&] {
+          Nfa nfa = parse_system(spec.system);
+          const std::uint64_t fp = fingerprint_nfa(nfa);
+          return ParsedSystem{std::move(nfa), fp};
+        });
+        if (spec.property_automaton.empty()) f = parse_ltl(spec.formula);
+      }
+      std::shared_ptr<const ParsedProperty> prop;
+      if (!spec.property_automaton.empty()) {
+        prop = property(spec.property_automaton, sys->nfa.alphabet(), &budget);
+      }
+      const MonitorKey key{sys->fingerprint, f ? f->raw() : nullptr,
+                           prop ? prop->fingerprint : 0, spec.certify};
+      // Compile once per distinct spec; an exception (including a tripped
+      // budget or a refuted witness) drops the cache entry, so a retry
+      // recompiles instead of serving a half-built automaton.
+      const auto automaton = monitors.get_or_compute(key, [&] {
+        const auto behaviors_aut =
+            behaviors.get_or_compute(sys->fingerprint, [&] {
+              StageScope scope(&budget, Stage::kPreTrim);
+              return limit_of_prefix_closed(sys->nfa);
+            });
+        const Labeling lambda = Labeling::canonical(behaviors_aut->alphabet());
+        const std::shared_ptr<const Buchi> positive =
+            prop ? std::shared_ptr<const Buchi>(prop, &prop->automaton)
+                 : translation(*f, lambda, /*negated=*/false, &budget);
+        return monitor::MonitorAutomaton(*behaviors_aut, *positive,
+                                         spec.certify, &budget);
+      });
+      std::lock_guard lock(session_mutex);
+      const std::uint64_t id = sessions.open(automaton, now_ms());
+      if (id == 0) {
+        result.table_full = true;
+      } else {
+        result.session = id;
+        result.verdict = automaton->verdict(automaton->initial());
+        result.certified = automaton->certified();
+      }
+    } catch (const ResourceExhausted& e) {
+      result.resource_exhausted = true;
+      result.exhausted_stage = std::string(stage_name(e.stage()));
+    } catch (const std::exception& e) {
+      result.error = e.what();
+    }
+    result.millis = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return result;
+  }
+
+  MonitorStepResult step_monitor(std::uint64_t session,
+                                 const std::vector<std::string>& actions) {
+    MonitorStepResult result;
+    std::lock_guard lock(session_mutex);
+    monitor::Session* s = sessions.find(session, now_ms());
+    if (!s) {
+      result.error = "unknown_session";
+      return result;
+    }
+    const monitor::MonitorAutomaton& automaton = *s->automaton;
+    const Alphabet& sigma = *automaton.alphabet();
+
+    // Validate the whole batch before applying any of it: a bad action or
+    // a tripped event cap must not half-step the stream.
+    Word symbols;
+    symbols.reserve(actions.size());
+    for (const std::string& name : actions) {
+      if (!sigma.contains(name)) {
+        result.error = "unknown_action";
+        result.error_detail = "'" + name + "' is not in the alphabet";
+        return result;
+      }
+      symbols.push_back(sigma.id(name));
+    }
+    if (options.max_session_events > 0 &&
+        s->events + symbols.size() > options.max_session_events) {
+      result.error = "event_cap";
+      result.error_detail =
+          "session event cap is " + std::to_string(options.max_session_events);
+      return result;
+    }
+
+    std::uint32_t state = s->state;
+    monitor::Verdict verdict = automaton.verdict(state);
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      state = automaton.step(state, symbols[i]);
+      const monitor::Verdict after = automaton.verdict(state);
+      if (verdict == monitor::Verdict::kSatisfiable &&
+          after != monitor::Verdict::kSatisfiable) {
+        result.transition_index = i;
+        if (after == monitor::Verdict::kDoomed) {
+          result.transition_doomed = true;
+          const Word w = automaton.witness(state);
+          result.witness.reserve(w.size());
+          for (const Symbol a : w) result.witness.push_back(sigma.name(a));
+          result.witness_certified = automaton.certified();
+          monitor_dooms.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      verdict = after;
+    }
+    s->state = state;
+    s->events += symbols.size();
+    monitor_steps.fetch_add(symbols.size(), std::memory_order_relaxed);
+    result.verdict = verdict;
+    result.events = s->events;
+    return result;
+  }
+
+  MonitorCloseResult close_monitor(std::uint64_t session) {
+    MonitorCloseResult result;
+    std::lock_guard lock(session_mutex);
+    monitor::Session* s = sessions.find(session, now_ms());
+    if (!s) {
+      result.error = "unknown_session";
+      return result;
+    }
+    result.events = s->events;
+    result.closed = sessions.close(session);
+    return result;
+  }
 };
 
 Engine::Engine(EngineOptions options)
@@ -439,6 +623,31 @@ void Engine::submit(Query query, std::function<void(Verdict)> done) {
        done = std::move(done)] { done(impl->run_one(query)); });
 }
 
+MonitorOpenResult Engine::open_monitor(const MonitorSpec& spec) {
+  return impl_->open_monitor(spec);
+}
+
+void Engine::submit_monitor_open(MonitorSpec spec,
+                                 std::function<void(MonitorOpenResult)> done) {
+  impl_->pool.submit(
+      [impl = impl_.get(), spec = std::move(spec),
+       done = std::move(done)] { done(impl->open_monitor(spec)); });
+}
+
+MonitorStepResult Engine::step_monitor(std::uint64_t session,
+                                       const std::vector<std::string>& actions) {
+  return impl_->step_monitor(session, actions);
+}
+
+MonitorCloseResult Engine::close_monitor(std::uint64_t session) {
+  return impl_->close_monitor(session);
+}
+
+std::size_t Engine::sweep_idle_sessions(std::uint64_t max_idle_ms) {
+  std::lock_guard lock(impl_->session_mutex);
+  return impl_->sessions.sweep_idle(impl_->now_ms(), max_idle_ms);
+}
+
 EngineStats Engine::stats() const {
   EngineStats stats;
   stats.systems = impl_->systems.counters();
@@ -447,6 +656,17 @@ EngineStats Engine::stats() const {
   stats.translations = impl_->translations.counters();
   stats.properties = impl_->properties.counters();
   stats.verdicts = impl_->verdicts.counters();
+  stats.monitors = impl_->monitors.counters();
+  {
+    std::lock_guard lock(impl_->session_mutex);
+    const monitor::SessionCounters c = impl_->sessions.counters();
+    stats.monitor.sessions_open = c.open;
+    stats.monitor.sessions_peak = c.peak;
+    stats.monitor.sessions_opened = c.opened;
+    stats.monitor.idle_reclaimed = c.idle_reclaimed;
+  }
+  stats.monitor.steps = impl_->monitor_steps.load(std::memory_order_relaxed);
+  stats.monitor.dooms = impl_->monitor_dooms.load(std::memory_order_relaxed);
   stats.queries_run = impl_->queries_run.load(std::memory_order_relaxed);
   stats.certificates_checked =
       impl_->certificates_checked.load(std::memory_order_relaxed);

@@ -74,6 +74,13 @@ struct EngineOptions {
   /// fairness of the run itself is not re-established). Costs one explicit
   /// product per certified rs/rl verdict; see docs/usage.md §11.
   bool certify_verdicts = false;
+  /// Global cap on concurrently open monitor sessions (the streaming
+  /// subsystem's SessionTable); an open over the cap reports table_full —
+  /// a deterministic overload, not an error. 0 = unlimited.
+  std::size_t max_sessions = 65536;
+  /// Per-session cap on total monitored events; a step batch that would
+  /// exceed it is rejected whole with "event_cap". 0 = unlimited.
+  std::uint64_t max_session_events = 0;
 };
 
 class Engine {
@@ -101,6 +108,32 @@ class Engine {
   /// callback submitted before ~Engine runs to completion before the
   /// destructor returns (the pool drains its queue).
   void submit(Query query, std::function<void(Verdict)> done);
+
+  // -------------------------------------------------------------------
+  // Streaming doom monitoring (rlv/monitor): compile once, step O(1).
+
+  /// Compiles (or fetches from the monitor-automaton cache) the monitor
+  /// for the spec and opens a session at its initial state. Compilation
+  /// runs under the engine-wide Budget defaults — this is the expensive
+  /// call; route it through a worker (submit_monitor_open) in a server.
+  [[nodiscard]] MonitorOpenResult open_monitor(const MonitorSpec& spec);
+
+  /// Asynchronous open on the engine pool, mirroring submit(): with
+  /// jobs <= 1 the open (and `done`) run inline on the caller.
+  void submit_monitor_open(MonitorSpec spec,
+                           std::function<void(MonitorOpenResult)> done);
+
+  /// Applies a batch of actions to a session — the O(1)-per-event hot
+  /// path; safe to call from an event loop. The batch is validated against
+  /// the alphabet and the event cap before any of it is applied.
+  [[nodiscard]] MonitorStepResult step_monitor(
+      std::uint64_t session, const std::vector<std::string>& actions);
+
+  [[nodiscard]] MonitorCloseResult close_monitor(std::uint64_t session);
+
+  /// Closes every session idle for at least `max_idle_ms`; returns how
+  /// many were reclaimed.
+  std::size_t sweep_idle_sessions(std::uint64_t max_idle_ms);
 
   /// Cumulative cache counters and query totals since construction.
   [[nodiscard]] EngineStats stats() const;

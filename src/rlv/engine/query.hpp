@@ -13,9 +13,12 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "rlv/engine/cache.hpp"
 #include "rlv/lang/alphabet.hpp"
 #include "rlv/lang/inclusion.hpp"
+#include "rlv/monitor/automaton.hpp"
 #include "rlv/omega/emptiness.hpp"
 #include "rlv/util/budget.hpp"
 
@@ -105,6 +108,80 @@ struct Verdict {
   }
 };
 
+/// What to monitor: the streaming counterpart of Query. A spec identifies
+/// a (system, property) pair only — compilation happens once per distinct
+/// spec (the engine's monitor-automaton cache), after which any number of
+/// sessions step the shared compiled table.
+struct MonitorSpec {
+  std::string system;   // system text in the rlv/io format
+  std::string formula;  // PLTL formula text (ignored with property_automaton)
+  /// When nonempty: the property as Büchi-automaton text (see Query).
+  std::string property_automaton = {};
+  /// Validate a doomed-prefix witness per doomed state with rlv::cert at
+  /// compile time; doom responses then report witness_certified. Part of
+  /// the automaton cache key (a certified compile is a stronger artifact).
+  bool certify = false;
+};
+
+struct MonitorOpenResult {
+  /// Session id for subsequent step/close calls; 0 when the open failed.
+  std::uint64_t session = 0;
+  /// Verdict of the empty trace (kDoomed/kLeftSystem for degenerate specs).
+  monitor::Verdict verdict = monitor::Verdict::kSatisfiable;
+  bool certified = false;
+  /// The global session table is at its cap — the deterministic overload
+  /// signal, distinct from an error.
+  bool table_full = false;
+  bool resource_exhausted = false;
+  std::string exhausted_stage;
+  std::string error;  // parse/compile failure; empty on success
+  double millis = 0.0;
+
+  [[nodiscard]] bool ok() const {
+    return error.empty() && !table_full && !resource_exhausted;
+  }
+};
+
+struct MonitorStepResult {
+  monitor::Verdict verdict = monitor::Verdict::kSatisfiable;
+  /// Total events this session has consumed (including this batch).
+  std::uint64_t events = 0;
+  /// Index within THIS batch where the verdict left kSatisfiable, if it
+  /// did here; `transition_doomed` tells doom apart from leaving the
+  /// system.
+  std::optional<std::size_t> transition_index;
+  bool transition_doomed = false;
+  /// On a doom transition: the automaton's canonical shortest doomed
+  /// prefix reaching the same state, as action names (the residual of a
+  /// DFA state is independent of the path taken to it).
+  std::vector<std::string> witness;
+  bool witness_certified = false;
+  /// Error code: "unknown_session", "unknown_action", "event_cap". A batch
+  /// with any bad action is rejected whole — no partial application.
+  std::string error;
+  std::string error_detail;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+struct MonitorCloseResult {
+  bool closed = false;
+  std::uint64_t events = 0;  // total events the session consumed
+  std::string error;         // "unknown_session" or empty
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Session-table and stepping totals since engine construction.
+struct MonitorCounters {
+  std::uint64_t sessions_open = 0;
+  std::uint64_t sessions_peak = 0;
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t idle_reclaimed = 0;
+  std::uint64_t steps = 0;  // events consumed across all sessions
+  std::uint64_t dooms = 0;  // live -> doomed transitions observed
+};
+
 /// Counter snapshot of every engine cache plus batch totals.
 struct EngineStats {
   CacheCounters systems;       // text → parsed Nfa
@@ -113,6 +190,8 @@ struct EngineStats {
   CacheCounters translations;  // (formula, alphabet, polarity) → Büchi
   CacheCounters properties;    // (automaton text, alphabet) → remapped Büchi
   CacheCounters verdicts;      // (system, property, kind, algo) → Verdict
+  CacheCounters monitors;      // (system, property, certify) → MonitorAutomaton
+  MonitorCounters monitor;     // session table + stepping totals
   std::uint64_t queries_run = 0;
   /// Certificate validations performed on negative verdicts before caching
   /// (EngineOptions::certify_verdicts). A nonzero `certificates_failed`
@@ -131,6 +210,7 @@ struct EngineStats {
     t += translations;
     t += properties;
     t += verdicts;
+    t += monitors;
     return t;
   }
 };

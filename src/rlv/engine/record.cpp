@@ -44,8 +44,15 @@ std::string render_stats(const EngineStats& stats) {
   out << ',';
   append_counters(out, "verdicts", stats.verdicts);
   out << ',';
+  append_counters(out, "monitors", stats.monitors);
+  out << ',';
   append_counters(out, "total", stats.total());
-  out << "},\"stages\":{";
+  out << "},\"monitor\":{\"sessions_open\":" << stats.monitor.sessions_open
+      << ",\"sessions_peak\":" << stats.monitor.sessions_peak
+      << ",\"sessions_total\":" << stats.monitor.sessions_opened
+      << ",\"idle_reclaimed\":" << stats.monitor.idle_reclaimed
+      << ",\"steps\":" << stats.monitor.steps
+      << ",\"dooms\":" << stats.monitor.dooms << "},\"stages\":{";
   bool first = true;
   for (std::size_t i = 0; i < kNumStages; ++i) {
     const StageMetrics& m = stats.stages.stages[i];

@@ -1,0 +1,110 @@
+#pragma once
+
+// rlv::monitor — streaming doomed-prefix detection over a compiled DFA.
+//
+// Lemma 4.3 makes relative liveness a *prefix* property: P is relative
+// liveness of L_ω exactly when pre(L_ω) ⊆ pre(L_ω ∩ P). A MonitorAutomaton
+// compiles a (system, property) pair ONCE into a complete deterministic
+// product of the two pre-language DFAs, classifies every state up front
+// (live / doomed / left-the-system), and precomputes a shortest witness
+// word per state. Judging a live event stream is then one table lookup per
+// event — O(1), no decision kernel on the hot path — which is what lets
+// one daemon carry a large number of concurrent monitored sessions, each
+// interned as nothing but a state id (see session.hpp).
+//
+// Doomed states are computed as the set of system-alive product states
+// that are NOT co-reachable to any winnable (pre(L_ω ∩ P)-alive) state —
+// a backward reachability pass over the compiled table rather than a
+// per-state emptiness check. With trimmed prefix DFAs "not co-reachable
+// to winnable" coincides with "the satisfiable component is dead", and
+// construction asserts that agreement.
+//
+// With `certify` set, every reachable doomed state's witness is validated
+// at compile time by the independent rlv::cert checker
+// (cert::check_doomed_prefix); a rejected witness throws, so a certified
+// automaton never serves an unvalidated doom verdict.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "rlv/lang/alphabet.hpp"
+#include "rlv/ltl/ast.hpp"
+#include "rlv/omega/buchi.hpp"
+#include "rlv/util/budget.hpp"
+
+namespace rlv::monitor {
+
+/// The three verdicts of online doom monitoring. kDoomed and kLeftSystem
+/// are absorbing in the order kSatisfiable -> kDoomed -> kLeftSystem
+/// (a doomed stream can still leave the system; it can never recover).
+enum class Verdict : std::uint8_t {
+  kSatisfiable,  // some continuation satisfies P inside the system
+  kDoomed,       // a system behavior with no satisfying continuation
+  kLeftSystem,   // not a behavior of the system at all
+};
+
+/// Wire/presentation name: "live", "doomed", "left_system".
+[[nodiscard]] std::string_view verdict_name(Verdict v);
+
+class MonitorAutomaton {
+ public:
+  /// Compiles the monitor for `system` (a Büchi automaton of the
+  /// behaviors, lim(L)) against the property, in automaton or formula
+  /// flavor. Construction cost is one Büchi product plus two subset
+  /// constructions plus the product-DFA sweep, charged to `budget`;
+  /// stepping never runs any of it again.
+  MonitorAutomaton(const Buchi& system, const Buchi& property,
+                   bool certify = false, Budget* budget = nullptr);
+  MonitorAutomaton(const Buchi& system, Formula f, const Labeling& lambda,
+                   bool certify = false, Budget* budget = nullptr);
+
+  [[nodiscard]] const AlphabetRef& alphabet() const { return sigma_; }
+  [[nodiscard]] std::uint32_t initial() const { return initial_; }
+  [[nodiscard]] std::size_t num_states() const { return verdicts_.size(); }
+  [[nodiscard]] std::size_t num_doomed() const { return num_doomed_; }
+
+  /// True when every reachable doomed state's witness was validated by
+  /// rlv::cert at construction time.
+  [[nodiscard]] bool certified() const { return certified_; }
+
+  [[nodiscard]] Verdict verdict(std::uint32_t state) const {
+    return static_cast<Verdict>(verdicts_[state]);
+  }
+
+  /// THE hot path: one dense-table lookup. The automaton is complete, so
+  /// every (state, symbol) pair has a successor; `a` must be a symbol of
+  /// alphabet().
+  [[nodiscard]] std::uint32_t step(std::uint32_t state, Symbol a) const {
+    return table_[static_cast<std::size_t>(state) * stride_ + a];
+  }
+
+  /// A shortest word from the initial state to `state` (BFS parent
+  /// backtrace). For a doomed state this is a genuine doomed prefix: the
+  /// residual language of a DFA state does not depend on how it was
+  /// reached, so the canonical witness attests every stream that lands on
+  /// the same state.
+  [[nodiscard]] Word witness(std::uint32_t state) const;
+
+  /// The shortest doomed system behavior, or nullopt exactly when the
+  /// property is relative liveness of the system (Definition 4.1).
+  [[nodiscard]] std::optional<Word> shortest_doomed_prefix() const;
+
+ private:
+  void build(const Buchi& system, const Buchi& property, bool certify,
+             Budget* budget);
+
+  AlphabetRef sigma_;
+  std::size_t stride_ = 0;  // |Σ|, the table row width
+  std::uint32_t initial_ = 0;
+  std::vector<std::uint32_t> table_;    // num_states * |Σ|, complete
+  std::vector<std::uint8_t> verdicts_;  // one Verdict per state
+  std::vector<std::uint32_t> parent_;   // BFS tree: predecessor state
+  std::vector<Symbol> via_;             // BFS tree: symbol from parent
+  std::uint32_t first_doomed_ = 0;      // lowest-id (= shallowest) doomed
+  std::size_t num_doomed_ = 0;
+  bool certified_ = false;
+};
+
+}  // namespace rlv::monitor

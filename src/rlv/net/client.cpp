@@ -47,6 +47,42 @@ std::string render_query_request(const Query& query, std::uint64_t id,
   return out;
 }
 
+std::string render_monitor_open_request(const MonitorSpec& spec,
+                                        std::uint64_t id,
+                                        std::string_view label) {
+  std::string out = "{\"op\":\"monitor_open\",\"id\":" + std::to_string(id) +
+                    ",\"system\":\"" + json_escape(spec.system) + "\"";
+  if (spec.property_automaton.empty()) {
+    out += ",\"formula\":\"" + json_escape(spec.formula) + "\"";
+  } else {
+    out += ",\"property_automaton\":\"" +
+           json_escape(spec.property_automaton) + "\"";
+  }
+  if (spec.certify) out += ",\"certify\":true";
+  if (!label.empty()) out += ",\"label\":\"" + json_escape(label) + "\"";
+  out += "}";
+  return out;
+}
+
+std::string render_monitor_step_request(std::uint64_t session,
+                                        const std::vector<std::string>& actions,
+                                        std::uint64_t id) {
+  std::string out = "{\"op\":\"monitor_step\",\"id\":" + std::to_string(id) +
+                    ",\"session\":" + std::to_string(session) + ",\"actions\":[";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + json_escape(actions[i]) + '"';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_monitor_close_request(std::uint64_t session,
+                                         std::uint64_t id) {
+  return "{\"op\":\"monitor_close\",\"id\":" + std::to_string(id) +
+         ",\"session\":" + std::to_string(session) + "}";
+}
+
 Response parse_response(std::string_view line) {
   Response response;
   response.raw = std::string(line);
@@ -70,6 +106,23 @@ Response parse_response(std::string_view line) {
   }
   if (const JsonValue* error = root.find("error")) {
     response.error = error->as_string();
+  }
+  if (const JsonValue* session = root.find("session")) {
+    response.has_session = true;
+    response.session = session->as_uint();
+  }
+  if (const JsonValue* verdict = root.find("verdict")) {
+    response.verdict = verdict->as_string();
+  }
+  if (const JsonValue* doomed = root.find("doomed_index")) {
+    response.has_doomed_index = true;
+    response.doomed_index = doomed->as_uint();
+  }
+  if (const JsonValue* certified = root.find("witness_certified")) {
+    response.witness_certified = certified->as_bool();
+  }
+  if (const JsonValue* events = root.find("events")) {
+    response.events = events->as_uint();
   }
   return response;
 }

@@ -22,6 +22,18 @@ namespace rlv::net {
                                                std::uint64_t id,
                                                std::string_view label = {});
 
+/// Streaming-monitor request lines (op monitor_open / monitor_step /
+/// monitor_close).
+[[nodiscard]] std::string render_monitor_open_request(
+    const MonitorSpec& spec, std::uint64_t id, std::string_view label = {});
+
+[[nodiscard]] std::string render_monitor_step_request(
+    std::uint64_t session, const std::vector<std::string>& actions,
+    std::uint64_t id);
+
+[[nodiscard]] std::string render_monitor_close_request(std::uint64_t session,
+                                                       std::uint64_t id);
+
 /// The response fields a client dispatches on, parsed from one line. The
 /// full record stays available in `raw` for callers that need witnesses or
 /// stage timings.
@@ -34,6 +46,14 @@ struct Response {
   bool resource_exhausted = false;
   std::string error;
   std::string raw;
+  // Streaming-monitor fields (monitor_open / monitor_step responses).
+  bool has_session = false;
+  std::uint64_t session = 0;
+  std::string verdict;  // "live" | "doomed" | "left_system"; empty otherwise
+  bool has_doomed_index = false;
+  std::uint64_t doomed_index = 0;
+  bool witness_certified = false;
+  std::uint64_t events = 0;
 };
 
 /// Parses a response line; throws std::runtime_error on non-JSON input.

@@ -14,8 +14,25 @@ namespace {
 constexpr std::string_view kKnownFields[] = {
     "op",      "id",         "system",     "formula", "property_automaton",
     "check",   "algorithm",  "threads",    "timeout_ms", "max_states",
-    "certify", "label",
+    "certify", "label",      "session",    "actions",
 };
+
+/// Shared between query and monitor_open: the property is the formula XOR
+/// an explicit Büchi automaton, never both, never neither.
+void parse_property_fields(const JsonValue& root, std::string* formula,
+                           std::string* property_automaton) {
+  const JsonValue* f = root.find("formula");
+  const JsonValue* p = root.find("property_automaton");
+  if (f && p) {
+    throw std::runtime_error(
+        "'formula' and 'property_automaton' are mutually exclusive");
+  }
+  if (!f && !p) {
+    throw std::runtime_error("missing 'formula' or 'property_automaton'");
+  }
+  if (f) *formula = f->as_string();
+  if (p) *property_automaton = p->as_string();
+}
 
 }  // namespace
 
@@ -52,6 +69,41 @@ Request parse_request(std::string_view line) {
     request.op = RequestOp::kPing;
     return request;
   }
+  if (op == "monitor_open") {
+    request.op = RequestOp::kMonitorOpen;
+    const JsonValue* system = root.find("system");
+    if (!system) throw std::runtime_error("missing field 'system'");
+    request.monitor.system = system->as_string();
+    parse_property_fields(root, &request.monitor.formula,
+                          &request.monitor.property_automaton);
+    if (const JsonValue* certify = root.find("certify")) {
+      request.monitor.certify = certify->as_bool();
+    }
+    return request;
+  }
+  if (op == "monitor_step") {
+    request.op = RequestOp::kMonitorStep;
+    const JsonValue* session = root.find("session");
+    if (!session) throw std::runtime_error("missing field 'session'");
+    request.session = session->as_uint();
+    const JsonValue* actions = root.find("actions");
+    if (!actions) throw std::runtime_error("missing field 'actions'");
+    if (actions->kind != JsonValue::Kind::kArray) {
+      throw std::runtime_error("'actions' must be an array of strings");
+    }
+    request.actions.reserve(actions->array.size());
+    for (const JsonValue& a : actions->array) {
+      request.actions.push_back(a.as_string());
+    }
+    return request;
+  }
+  if (op == "monitor_close") {
+    request.op = RequestOp::kMonitorClose;
+    const JsonValue* session = root.find("session");
+    if (!session) throw std::runtime_error("missing field 'session'");
+    request.session = session->as_uint();
+    return request;
+  }
   if (op != "query") {
     throw std::runtime_error("unknown op '" + std::string(op) + "'");
   }
@@ -61,17 +113,8 @@ Request parse_request(std::string_view line) {
   if (!system) throw std::runtime_error("missing field 'system'");
   request.query.system = system->as_string();
 
-  const JsonValue* formula = root.find("formula");
-  const JsonValue* property = root.find("property_automaton");
-  if (formula && property) {
-    throw std::runtime_error(
-        "'formula' and 'property_automaton' are mutually exclusive");
-  }
-  if (!formula && !property) {
-    throw std::runtime_error("missing 'formula' or 'property_automaton'");
-  }
-  if (formula) request.query.formula = formula->as_string();
-  if (property) request.query.property_automaton = property->as_string();
+  parse_property_fields(root, &request.query.formula,
+                        &request.query.property_automaton);
 
   if (const JsonValue* check = root.find("check")) {
     const auto kind = parse_check_kind(check->as_string());
@@ -133,6 +176,55 @@ std::string render_overloaded(std::uint64_t id, std::string_view scope) {
          ",\"ok\":false,\"error\":\"overloaded\",\"overloaded\":true,"
          "\"scope\":\"" +
          json_escape(scope) + "\"}";
+}
+
+std::string render_monitor_open(std::uint64_t id, const MonitorOpenResult& r) {
+  if (r.table_full) return render_overloaded(id, "sessions");
+  if (r.resource_exhausted) {
+    return "{\"id\":" + std::to_string(id) +
+           ",\"ok\":false,\"resource_exhausted\":true,\"stage\":\"" +
+           json_escape(r.exhausted_stage) + "\"}";
+  }
+  if (!r.error.empty()) return render_error(id, r.error, {});
+  std::string out = "{\"id\":" + std::to_string(id) +
+                    ",\"ok\":true,\"session\":" + std::to_string(r.session) +
+                    ",\"verdict\":\"" +
+                    std::string(monitor::verdict_name(r.verdict)) +
+                    "\",\"certified\":" + (r.certified ? "true" : "false");
+  out += ",\"ms\":" + std::to_string(r.millis) + "}";
+  return out;
+}
+
+std::string render_monitor_step(std::uint64_t id, const MonitorStepResult& r) {
+  if (!r.error.empty()) return render_error(id, r.error, r.error_detail);
+  std::string out = "{\"id\":" + std::to_string(id) +
+                    ",\"ok\":true,\"verdict\":\"" +
+                    std::string(monitor::verdict_name(r.verdict)) +
+                    "\",\"events\":" + std::to_string(r.events);
+  if (r.transition_index) {
+    if (r.transition_doomed) {
+      out += ",\"doomed_index\":" + std::to_string(*r.transition_index);
+      out += ",\"witness\":[";
+      for (std::size_t i = 0; i < r.witness.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"' + json_escape(r.witness[i]) + '"';
+      }
+      out += "],\"witness_certified\":";
+      out += r.witness_certified ? "true" : "false";
+    } else {
+      out += ",\"left_index\":" + std::to_string(*r.transition_index);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string render_monitor_close(std::uint64_t id,
+                                 const MonitorCloseResult& r) {
+  if (!r.error.empty()) return render_error(id, r.error, {});
+  return "{\"id\":" + std::to_string(id) + ",\"ok\":true,\"closed\":" +
+         (r.closed ? "true" : "false") +
+         ",\"events\":" + std::to_string(r.events) + "}";
 }
 
 }  // namespace rlv::net

@@ -55,15 +55,31 @@ struct ServerLimits {
   std::uint64_t max_timeout_ms = 30000;
   std::uint64_t max_max_states = 0;
   std::size_t max_threads = 1;
+  /// Monitor-session caps: how many streaming sessions one connection may
+  /// hold open, and how many actions one monitor_step may batch. Requests
+  /// over these caps are rejected deterministically ("connection_sessions"
+  /// overload / "too_many_steps" error) without closing the connection.
+  std::size_t max_sessions_per_connection = 4096;
+  std::size_t max_steps_per_request = 8192;
 };
 
-enum class RequestOp : std::uint8_t { kQuery, kStats, kPing };
+enum class RequestOp : std::uint8_t {
+  kQuery,
+  kStats,
+  kPing,
+  kMonitorOpen,
+  kMonitorStep,
+  kMonitorClose,
+};
 
 struct Request {
   RequestOp op = RequestOp::kQuery;
   std::uint64_t id = 0;
-  std::string label;  // presentation label; "inline" when absent
-  Query query;        // populated for kQuery
+  std::string label;     // presentation label; "inline" when absent
+  Query query;           // populated for kQuery
+  MonitorSpec monitor;   // populated for kMonitorOpen
+  std::uint64_t session = 0;          // kMonitorStep / kMonitorClose
+  std::vector<std::string> actions;   // kMonitorStep batch
 };
 
 /// Parses one request line (already stripped of the trailing newline/CR).
@@ -82,8 +98,34 @@ void apply_limits(Query& query, const ServerLimits& limits);
                                        std::string_view detail);
 
 /// The structured backpressure rejection; scope is "connection" or
-/// "server" depending on which in-flight cap tripped.
+/// "server" depending on which in-flight cap tripped — or, for monitor
+/// opens, "sessions" (global table full) / "connection_sessions" (per-
+/// connection cap).
 [[nodiscard]] std::string render_overloaded(std::uint64_t id,
                                             std::string_view scope);
+
+// ---------------------------------------------------------------------
+// Streaming monitor responses. One line each:
+//
+//   monitor_open   {"id":N,"ok":true,"session":S,"verdict":"live",
+//                   "certified":false,"ms":1.2}
+//   monitor_step   {"id":N,"ok":true,"verdict":"doomed","events":4,
+//                   "doomed_index":3,"witness":["request","yes","result",
+//                   "lock"],"witness_certified":true}
+//                  (a batch that leaves the system reports "left_index")
+//   monitor_close  {"id":N,"ok":true,"closed":true,"events":4}
+//
+// Failed opens use the overload shape (table full), the
+// resource_exhausted shape, or the plain error shape; step/close errors
+// ("unknown_session", "unknown_action", "event_cap") use render_error.
+
+[[nodiscard]] std::string render_monitor_open(std::uint64_t id,
+                                              const MonitorOpenResult& r);
+
+[[nodiscard]] std::string render_monitor_step(std::uint64_t id,
+                                              const MonitorStepResult& r);
+
+[[nodiscard]] std::string render_monitor_close(std::uint64_t id,
+                                               const MonitorCloseResult& r);
 
 }  // namespace rlv::net

@@ -18,6 +18,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "rlv/engine/record.hpp"
@@ -106,11 +107,19 @@ struct Connection {
   bool closing = false;      // close once `out` drains (protocol error)
   bool read_closed = false;  // peer half-closed; flush and then close
   Clock::time_point last_activity{};
+  /// Monitor sessions this connection owns: steps/closes are only honored
+  /// for ids in here, and everything in here is closed with the socket.
+  std::unordered_set<std::uint64_t> sessions;
+  /// monitor_opens submitted but not yet completed — counted against the
+  /// per-connection session cap so a pipelined burst cannot overshoot it.
+  std::size_t pending_opens = 0;
 };
 
 struct Completion {
   std::uint64_t conn_id = 0;
   std::string line;
+  bool open = false;          // a monitor_open completion
+  std::uint64_t session = 0;  // the opened session (0 = open failed)
 };
 
 /// The worker→loop handoff. Shared (via shared_ptr) between the server and
@@ -126,10 +135,11 @@ struct CompletionSink {
     if (wake_fd >= 0) ::close(wake_fd);
   }
 
-  void post(std::uint64_t conn_id, std::string line) {
+  void post(std::uint64_t conn_id, std::string line, bool open = false,
+            std::uint64_t session = 0) {
     {
       std::lock_guard lock(mutex);
-      items.push_back({conn_id, std::move(line)});
+      items.push_back({conn_id, std::move(line), open, session});
     }
     const char byte = 'c';
     [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
@@ -192,6 +202,12 @@ struct Server::Impl {
     ::close(conn.fd);
     conn.fd = -1;
     c_open.fetch_sub(1, std::memory_order_relaxed);
+    // Session lifetime is tied to the connection: RST, idle close, drain —
+    // every path through here reclaims the connection's monitor sessions.
+    for (const std::uint64_t session : conn.sessions) {
+      (void)engine.close_monitor(session);
+    }
+    conn.sessions.clear();
   }
 
   void flush_writes(Connection& conn) {
@@ -276,6 +292,72 @@ struct Server::Impl {
         });
   }
 
+  void submit_monitor_open(Connection& conn, Request req) {
+    // The per-connection session cap counts opens still in flight, so a
+    // pipelined burst of opens is rejected deterministically at the cap.
+    if (conn.sessions.size() + conn.pending_opens >=
+        options.limits.max_sessions_per_connection) {
+      c_overload.fetch_add(1, std::memory_order_relaxed);
+      send_line(conn, render_overloaded(req.id, "connection_sessions"));
+      return;
+    }
+    if (global_inflight >= options.max_inflight) {
+      c_overload.fetch_add(1, std::memory_order_relaxed);
+      send_line(conn, render_overloaded(req.id, "server"));
+      return;
+    }
+    if (conn.inflight >= options.max_inflight_per_connection) {
+      c_overload.fetch_add(1, std::memory_order_relaxed);
+      send_line(conn, render_overloaded(req.id, "connection"));
+      return;
+    }
+    ++global_inflight;
+    ++conn.inflight;
+    ++conn.pending_opens;
+    c_inflight.store(global_inflight, std::memory_order_relaxed);
+    c_queries.fetch_add(1, std::memory_order_relaxed);
+    // Compilation is the expensive half of a monitor's life — run it on a
+    // worker like any query; stepping stays on the loop (O(1) per event).
+    engine.submit_monitor_open(
+        std::move(req.monitor),
+        [sink = sink, conn_id = conn.id, id = req.id](MonitorOpenResult r) {
+          sink->post(conn_id, render_monitor_open(id, r), /*open=*/true,
+                     r.session);
+        });
+  }
+
+  void handle_monitor_step(Connection& conn, const Request& req) {
+    if (req.actions.size() > options.limits.max_steps_per_request) {
+      c_overload.fetch_add(1, std::memory_order_relaxed);
+      send_line(conn,
+                render_error(req.id, "too_many_steps",
+                             "batch cap is " +
+                                 std::to_string(
+                                     options.limits.max_steps_per_request)));
+      return;
+    }
+    // A connection may only step sessions it opened; a foreign (or
+    // already-closed) id is indistinguishable from an unknown one.
+    if (conn.sessions.count(req.session) == 0) {
+      send_line(conn, render_error(req.id, "unknown_session", {}));
+      return;
+    }
+    MonitorStepResult r = engine.step_monitor(req.session, req.actions);
+    if (r.error == "unknown_session") {
+      conn.sessions.erase(req.session);  // idle-swept under us
+    }
+    send_line(conn, render_monitor_step(req.id, r));
+  }
+
+  void handle_monitor_close(Connection& conn, const Request& req) {
+    if (conn.sessions.erase(req.session) == 0) {
+      send_line(conn, render_error(req.id, "unknown_session", {}));
+      return;
+    }
+    send_line(conn,
+              render_monitor_close(req.id, engine.close_monitor(req.session)));
+  }
+
   void handle_line(Connection& conn, std::string_view line, bool stopping) {
     c_requests.fetch_add(1, std::memory_order_relaxed);
     Request req;
@@ -299,6 +381,15 @@ struct Server::Impl {
         break;
       case RequestOp::kQuery:
         submit_query(conn, std::move(req));
+        break;
+      case RequestOp::kMonitorOpen:
+        submit_monitor_open(conn, std::move(req));
+        break;
+      case RequestOp::kMonitorStep:
+        handle_monitor_step(conn, req);
+        break;
+      case RequestOp::kMonitorClose:
+        handle_monitor_close(conn, req);
         break;
     }
   }
@@ -371,13 +462,26 @@ struct Server::Impl {
       if (global_inflight > 0) --global_inflight;
       c_inflight.store(global_inflight, std::memory_order_relaxed);
       const auto it = connections.find(completion.conn_id);
-      if (it == connections.end()) continue;  // client left; drop the line
-      Connection& conn = it->second;
-      if (conn.inflight > 0) --conn.inflight;
-      if (conn.fd < 0) continue;
-      conn.out += completion.line;
-      conn.out += '\n';
-      flush_writes(conn);
+      Connection* conn =
+          it == connections.end() ? nullptr : &it->second;
+      if (conn && completion.open && conn->pending_opens > 0) {
+        --conn->pending_opens;
+      }
+      if (conn && conn->inflight > 0) --conn->inflight;
+      if (!conn || conn->fd < 0) {
+        // Client left before the open finished: the session would leak in
+        // the engine table with nobody able to step or close it.
+        if (completion.open && completion.session != 0) {
+          (void)engine.close_monitor(completion.session);
+        }
+        continue;
+      }
+      if (completion.open && completion.session != 0) {
+        conn->sessions.insert(completion.session);
+      }
+      conn->out += completion.line;
+      conn->out += '\n';
+      flush_writes(*conn);
     }
   }
 
@@ -393,6 +497,11 @@ struct Server::Impl {
       if (timeout < 0 || clamped < timeout) timeout = clamped;
     };
     if (stopping && drain_deadline) consider(*drain_deadline);
+    if (!stopping && options.session_idle_timeout_ms > 0) {
+      // Idle-session GC runs on loop passes; wake at least once per
+      // timeout interval so sessions expire without client traffic.
+      consider(now + std::chrono::milliseconds(options.session_idle_timeout_ms));
+    }
     if (!stopping && options.idle_timeout_ms > 0) {
       for (const auto& [id, conn] : connections) {
         if (conn.fd < 0 || conn.inflight > 0 || !conn.out.empty()) continue;
@@ -503,6 +612,12 @@ struct Server::Impl {
             close_fd(conn);
           }
         }
+      }
+      if (!stopping && options.session_idle_timeout_ms > 0) {
+        // Sessions reclaimed here linger in their connection's owned set
+        // until the next step reports unknown_session and erases them —
+        // the engine's generation counter makes the stale ids inert.
+        (void)engine.sweep_idle_sessions(options.session_idle_timeout_ms);
       }
     }
     for (auto& [id, conn] : connections) close_fd(conn);

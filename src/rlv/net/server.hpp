@@ -52,6 +52,10 @@ struct ServerOptions {
   std::size_t max_write_buffer = 8 << 20;
   std::uint64_t idle_timeout_ms = 120000;  // 0 = never close idle clients
   std::uint64_t drain_timeout_ms = 5000;   // bound on the graceful drain
+  /// Monitor sessions untouched for this long are reclaimed by the loop
+  /// (idle-session GC, independent of connection idle close); 0 = never.
+  /// A later step on a reclaimed session reports "unknown_session".
+  std::uint64_t session_idle_timeout_ms = 0;
   ServerLimits limits;  // caps/defaults for per-request overrides
 };
 

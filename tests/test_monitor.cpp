@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "rlv/cert/certificate.hpp"
 #include "rlv/core/monitor.hpp"
 #include "rlv/core/relative.hpp"
 #include "rlv/gen/families.hpp"
@@ -256,6 +257,107 @@ TEST(Patterns, PaperPropertiesViaPatterns) {
   EXPECT_TRUE(satisfies(system, patterns::precedence_weak("request", "result"),
                         lambda)
                   .holds);
+}
+
+// ---------------------------------------------------------------------------
+// The compiled streaming kernel (rlv/monitor/automaton.hpp) — now the ONLY
+// doom-judgment kernel; DoomMonitor is a wrapper over it.
+
+TEST(MonitorAutomaton, AgreesWithIncrementalSubsetStepping) {
+  // Differential test against an inline re-implementation of the
+  // pre-compilation monitor: step the two trimmed prefix NFAs by subset
+  // construction on the fly. The compiled table must produce identical
+  // verdicts on every prefix of random traces over random systems and
+  // formulas.
+  Rng rng(20260808);
+  const std::vector<std::string> atoms = {"a0", "a1", "a2"};
+  for (int instance = 0; instance < 30; ++instance) {
+    const AlphabetRef sigma = random_alphabet(3);
+    const Nfa ts = random_transition_system(rng, 3 + instance % 5, sigma);
+    const Buchi system = limit_of_prefix_closed(ts);
+    const Labeling lambda = Labeling::canonical(sigma);
+    const Formula f = random_formula(rng, atoms, 3);
+    const Buchi property = translate_ltl(f, lambda);
+
+    const monitor::MonitorAutomaton aut(system, property);
+    const Nfa sys_pre = prefix_nfa(system);
+    const Nfa sat_pre = prefix_nfa(intersect_buchi(system, property));
+
+    DynBitset sys_set = sys_pre.run({});
+    DynBitset sat_set = sat_pre.run({});
+    std::uint32_t state = aut.initial();
+    const auto subset_verdict = [&] {
+      if (sys_set.none()) return monitor::Verdict::kLeftSystem;
+      if (sat_set.none()) return monitor::Verdict::kDoomed;
+      return monitor::Verdict::kSatisfiable;
+    };
+    ASSERT_EQ(aut.verdict(state), subset_verdict()) << "instance " << instance;
+    for (int step = 0; step < 48; ++step) {
+      const Symbol a = static_cast<Symbol>(rng.next_below(sigma->size()));
+      state = aut.step(state, a);
+      sys_set = sys_pre.step(sys_set, a);
+      sat_set = sat_pre.step(sat_set, a);
+      ASSERT_EQ(aut.verdict(state), subset_verdict())
+          << "instance " << instance << " step " << step;
+    }
+  }
+}
+
+TEST(MonitorAutomaton, EveryDoomedWitnessDoomsAndCertifies) {
+  const Nfa fig3 = figure3_system();
+  const Buchi system = limit_of_prefix_closed(fig3);
+  const Labeling lambda = Labeling::canonical(fig3.alphabet());
+  const Formula f = parse_ltl("G F result");
+  const Buchi property = translate_ltl(f, lambda);
+  const monitor::MonitorAutomaton aut(system, property);
+
+  ASSERT_GT(aut.num_doomed(), 0u);
+  std::size_t doomed_seen = 0;
+  for (std::uint32_t s = 0; s < aut.num_states(); ++s) {
+    if (aut.verdict(s) != monitor::Verdict::kDoomed) continue;
+    ++doomed_seen;
+    const Word witness = aut.witness(s);
+    // The canonical witness must actually doom a fresh monitor...
+    DoomMonitor fresh(system, f, lambda);
+    EXPECT_EQ(fresh.run(witness), MonitorVerdict::kDoomed);
+    // ...and survive the independent certificate checker.
+    const cert::Validation v =
+        cert::check_doomed_prefix(witness, system, property);
+    EXPECT_TRUE(v.valid) << v.reason;
+    EXPECT_TRUE(v.checked);
+  }
+  EXPECT_EQ(doomed_seen, aut.num_doomed());
+}
+
+TEST(MonitorAutomaton, CertifiedCompileAndRelativeLivenessAgreement) {
+  // certify=true validates every doomed witness at compile time — a buggy
+  // system compiles certified (the witnesses are genuine), and a system
+  // whose property IS relative liveness has no doomed state at all, in
+  // agreement with the Lemma 4.3 decision procedure.
+  const Nfa fig2 = figure2_system();
+  const Labeling lambda2 = Labeling::canonical(fig2.alphabet());
+  const Buchi sys2 = limit_of_prefix_closed(fig2);
+  const monitor::MonitorAutomaton live(sys2, parse_ltl("G F result"), lambda2,
+                                       /*certify=*/true);
+  EXPECT_TRUE(live.certified());
+  EXPECT_EQ(live.num_doomed(), 0u);
+  EXPECT_FALSE(live.shortest_doomed_prefix());
+  EXPECT_TRUE(relative_liveness(sys2, parse_ltl("G F result"), lambda2).holds);
+
+  const Nfa fig3 = figure3_system();
+  const Labeling lambda3 = Labeling::canonical(fig3.alphabet());
+  const Buchi sys3 = limit_of_prefix_closed(fig3);
+  const monitor::MonitorAutomaton doomed(sys3, parse_ltl("G F result"),
+                                         lambda3, /*certify=*/true);
+  EXPECT_TRUE(doomed.certified());
+  EXPECT_GT(doomed.num_doomed(), 0u);
+  const auto shortest = doomed.shortest_doomed_prefix();
+  ASSERT_TRUE(shortest);
+  // The wrapper reports the same canonical shortest doomed prefix.
+  DoomMonitor wrapper(sys3, parse_ltl("G F result"), lambda3);
+  EXPECT_EQ(wrapper.shortest_doomed_prefix(), shortest);
+  EXPECT_FALSE(
+      relative_liveness(sys3, parse_ltl("G F result"), lambda3).holds);
 }
 
 }  // namespace

@@ -16,6 +16,12 @@
 //   --check doom        monitor a trace (--trace "a b c"): report when the
 //                       property stops being realizable (relative-liveness
 //                       doom detection)
+//   --check monitor     offline replay of the streaming monitor: compile
+//                       the rlv::monitor automaton once, replay a trace
+//                       (--trace or --trace-file, whitespace-separated
+//                       actions) step by step, print each verdict change;
+//                       with --certify the doomed-prefix certificate is
+//                       validated by the independent checker
 //   --hom <file>        run the abstraction pipeline (Sections 6-8): check
 //                       the formula on the abstraction, certify simplicity,
 //                       transfer by Theorem 8.2/8.3
@@ -41,6 +47,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <optional>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -55,6 +62,7 @@
 #include "rlv/lang/ops.hpp"
 #include "rlv/ltl/parser.hpp"
 #include "rlv/ltl/pnf.hpp"
+#include "rlv/ltl/translate.hpp"
 #include "rlv/omega/lasso.hpp"
 #include "rlv/omega/limit.hpp"
 
@@ -65,8 +73,8 @@ using namespace rlv;
 int usage() {
   std::fprintf(stderr,
                "usage: rlv_check <system-file> --ltl \"<formula>\"\n"
-               "       [--check rl|rs|sat|fair|fairweak|synth|doom]\n"
-               "       [--trace \"<a b c>\"] [--hom <file>]\n"
+               "       [--check rl|rs|sat|fair|fairweak|synth|doom|monitor]\n"
+               "       [--trace \"<a b c>\"] [--trace-file <file>] [--hom <file>]\n"
                "       [--property-aut <file>] [--explain] [--threads N]\n"
                "       [--certify] [--dot]\n"
                "  --explain annotates rl doomed prefixes and rs/sat lassos\n"
@@ -105,6 +113,7 @@ int main(int argc, char** argv) {
   std::string mode = "rl";
   std::string hom_path;
   std::string trace_text;
+  std::string trace_file;
   std::string property_path;
   bool dot = false;
   bool explain = false;
@@ -121,6 +130,8 @@ int main(int argc, char** argv) {
       hom_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_text = argv[++i];
+    } else if (arg == "--trace-file" && i + 1 < argc) {
+      trace_file = argv[++i];
     } else if (arg == "--property-aut" && i + 1 < argc) {
       property_path = argv[++i];
     } else if (arg == "--explain") {
@@ -373,6 +384,76 @@ int main(int argc, char** argv) {
           std::printf("trace left the system at step %zu\n", first_doom);
           return 1;
       }
+    }
+    if (mode == "monitor") {
+      // Offline replay through the compiled streaming monitor — the same
+      // kernel `rlvd --serve` steps per session, exercised from a file.
+      if (trace_text.empty() && trace_file.empty()) {
+        std::fprintf(stderr, "error: --check monitor needs --trace or "
+                             "--trace-file\n");
+        return 2;
+      }
+      if (!trace_file.empty()) trace_text = read_file(trace_file);
+      const monitor::MonitorAutomaton aut(behaviors, formula, lambda,
+                                          certify);
+      Word trace;
+      std::string token;
+      for (const char c : trace_text + " ") {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+          if (!token.empty()) {
+            if (!system.alphabet()->contains(token)) {
+              std::fprintf(stderr, "error: unknown action '%s'\n",
+                           token.c_str());
+              return 2;
+            }
+            trace.push_back(system.alphabet()->id(token));
+            token.clear();
+          }
+        } else {
+          token += c;
+        }
+      }
+      std::uint32_t state = aut.initial();
+      MonitorVerdict verdict = aut.verdict(state);
+      std::optional<std::size_t> transition;
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        state = aut.step(state, trace[i]);
+        const MonitorVerdict after = aut.verdict(state);
+        if (verdict == MonitorVerdict::kSatisfiable &&
+            after != MonitorVerdict::kSatisfiable) {
+          transition = i;
+        }
+        verdict = after;
+        std::printf("  %3zu %-12s -> %s\n", i,
+                    system.alphabet()->name(trace[i]).c_str(),
+                    std::string(monitor::verdict_name(after)).c_str());
+      }
+      if (verdict == MonitorVerdict::kSatisfiable) {
+        std::printf("trace ok: the property is still realizable after %zu "
+                    "events\n", trace.size());
+        return 0;
+      }
+      if (transition && aut.verdict(state) == MonitorVerdict::kDoomed) {
+        const Word witness = aut.witness(state);
+        std::printf("DOOMED at step %zu; canonical witness for this state: "
+                    "%s\n", *transition,
+                    system.alphabet()->format(witness).c_str());
+        if (certify) {
+          const Buchi property_buchi = translate_ltl(formula, lambda);
+          const cert::Validation validation =
+              cert::check_doomed_prefix(witness, behaviors, property_buchi);
+          std::printf("certificate: %s\n",
+                      validation.valid && validation.checked ? "VALID"
+                                                             : "INVALID");
+          if (!validation.valid) {
+            std::fprintf(stderr, "error: %s\n", validation.reason.c_str());
+            return 2;
+          }
+        }
+      } else if (transition) {
+        std::printf("trace left the system at step %zu\n", *transition);
+      }
+      return 1;
     }
     if (mode == "synth") {
       const auto rl = relative_liveness(behaviors, formula, lambda);

@@ -16,6 +16,17 @@
 // and the raw response (EngineStats + server counters) is printed on
 // stdout — the cache-effectiveness record E25 consumes.
 //
+// With --monitor, the generator switches to the streaming-monitor
+// workload (record E26): open K sessions (one connection each) on the
+// Figure 2 server with `G F result`, stream M locally-precomputed
+// guaranteed-live events per session in batches of B, and report
+// events/s plus per-event latency percentiles (batch RTT amortized over
+// its events) as {"monitor_loadgen":{...}}. A deterministic doom leg then
+// opens a certified Figure 3 session, streams the canonical dooming trace
+// and asserts the doomed index, the certified witness, absorbing doom,
+// and double-close behavior — wire-protocol verification riding along
+// with the measurement.
+//
 // Exit status: 0 = every response was a well-formed verdict (overload
 // rejections and resource_exhausted are counted, not errors), 1 = at
 // least one error/protocol failure, 2 = bad invocation or connect
@@ -32,7 +43,10 @@
 #include "rlv/engine/query.hpp"
 #include "rlv/gen/families.hpp"
 #include "rlv/io/format.hpp"
+#include "rlv/ltl/parser.hpp"
+#include "rlv/monitor/automaton.hpp"
 #include "rlv/net/client.hpp"
+#include "rlv/omega/limit.hpp"
 
 namespace {
 
@@ -41,7 +55,9 @@ using namespace rlv;
 int usage() {
   std::fprintf(stderr,
                "usage: rlv_loadgen --port P [--host H] [--connections N]"
-               " [--requests M] [--certify] [--stats]\n");
+               " [--requests M] [--certify] [--stats]\n"
+               "       rlv_loadgen --port P --monitor [--sessions K]"
+               " [--events M] [--batch B] [--stats]\n");
   return 2;
 }
 
@@ -98,6 +114,200 @@ double percentile(std::vector<double>& sorted, double p) {
   return sorted[std::min(index, sorted.size() - 1)];
 }
 
+/// A trace of `events` actions guaranteed to keep the Figure 2 / GF result
+/// monitor live: walk the locally compiled MonitorAutomaton greedily,
+/// always taking the lowest symbol that stays kSatisfiable. The server
+/// compiles the same automaton (same inputs), so every streamed batch must
+/// answer "live" — any other verdict is a correctness error, not load.
+std::vector<std::string> build_live_trace(std::size_t events) {
+  const Nfa fig2 = figure2_system();
+  const Buchi behaviors = limit_of_prefix_closed(fig2);
+  const Labeling lambda = Labeling::canonical(fig2.alphabet());
+  const monitor::MonitorAutomaton aut(behaviors, parse_ltl("G F result"),
+                                      lambda);
+  const Alphabet& sigma = *fig2.alphabet();
+  std::vector<std::string> trace;
+  trace.reserve(events);
+  std::uint32_t state = aut.initial();
+  for (std::size_t i = 0; i < events; ++i) {
+    bool advanced = false;
+    for (Symbol a = 0; a < sigma.size(); ++a) {
+      const std::uint32_t next = aut.step(state, a);
+      if (aut.verdict(next) == monitor::Verdict::kSatisfiable) {
+        trace.push_back(sigma.name(a));
+        state = next;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;  // cannot happen for fig2: every live state has
+                           // a live successor (the system is deadlock-free)
+  }
+  return trace;
+}
+
+/// The deterministic doom-protocol leg: one session on the buggy Figure 3
+/// server with certification, stepped through the canonical dooming trace.
+/// Every assertion failure counts as an error (the point is to verify the
+/// wire protocol end to end, not to measure it).
+std::uint64_t run_doom_assertions(const std::string& host, int port) {
+  std::uint64_t errors = 0;
+  const auto expect = [&errors](bool ok, const char* what) {
+    if (!ok) {
+      ++errors;
+      std::fprintf(stderr, "error: doom assertion failed: %s\n", what);
+    }
+  };
+  try {
+    net::Client client;
+    client.connect(host, static_cast<std::uint16_t>(port));
+    MonitorSpec spec;
+    spec.system = serialize_system(figure3_system());
+    spec.formula = "G F result";
+    spec.certify = true;
+    const net::Response open = net::parse_response(
+        client.call(net::render_monitor_open_request(spec, 1, "fig3")));
+    expect(open.ok && open.has_session, "open fig3 certified");
+    expect(open.verdict == "live", "fresh session is live");
+
+    const std::vector<std::string> dooming = {"request", "yes", "result",
+                                              "lock"};
+    const net::Response doom = net::parse_response(client.call(
+        net::render_monitor_step_request(open.session, dooming, 2)));
+    expect(doom.ok, "dooming step answers ok");
+    expect(doom.verdict == "doomed", "verdict is doomed after lock");
+    expect(doom.has_doomed_index && doom.doomed_index == 3,
+           "doom detected at batch index 3 (the lock)");
+    expect(doom.witness_certified, "doom witness is certified");
+    expect(doom.raw.find("\"witness\":[") != std::string::npos &&
+               doom.raw.find("\"witness\":[]") == std::string::npos,
+           "doom response carries a nonempty witness");
+
+    const net::Response after = net::parse_response(client.call(
+        net::render_monitor_step_request(open.session, {"request"}, 3)));
+    expect(after.ok && after.verdict == "doomed" && !after.has_doomed_index,
+           "doom is absorbing (no second transition report)");
+    expect(after.events == 5, "event count accumulates across batches");
+
+    const net::Response closed = net::parse_response(
+        client.call(net::render_monitor_close_request(open.session, 4)));
+    expect(closed.ok, "close succeeds");
+    const net::Response again = net::parse_response(
+        client.call(net::render_monitor_close_request(open.session, 5)));
+    expect(!again.ok && again.error == "unknown_session",
+           "double close reports unknown_session");
+  } catch (const std::exception& e) {
+    ++errors;
+    std::fprintf(stderr, "error: doom assertion leg failed: %s\n", e.what());
+  }
+  return errors;
+}
+
+int run_monitor_mode(const std::string& host, int port, std::size_t sessions,
+                     std::size_t events, std::size_t batch, bool want_stats) {
+  const std::vector<std::string> trace = build_live_trace(events);
+  const std::string fig2 = serialize_system(figure2_system());
+
+  std::vector<ThreadResult> results(sessions);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(sessions);
+  for (std::size_t t = 0; t < sessions; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadResult& result = results[t];
+      result.latencies_ms.reserve(trace.size() / batch + 1);
+      net::Client client;
+      try {
+        client.connect(host, static_cast<std::uint16_t>(port));
+        MonitorSpec spec;
+        spec.system = fig2;
+        spec.formula = "G F result";
+        const net::Response open = net::parse_response(client.call(
+            net::render_monitor_open_request(spec, t, "fig2")));
+        if (open.overloaded) {
+          ++result.overloaded;
+          return;
+        }
+        if (!open.ok || !open.has_session) {
+          ++result.errors;
+          return;
+        }
+        for (std::size_t off = 0; off < trace.size(); off += batch) {
+          const std::size_t n = std::min(batch, trace.size() - off);
+          const std::vector<std::string> slice(trace.begin() + off,
+                                               trace.begin() + off + n);
+          const auto sent = std::chrono::steady_clock::now();
+          const net::Response step = net::parse_response(client.call(
+              net::render_monitor_step_request(open.session, slice, off)));
+          const double rtt = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - sent)
+                                 .count();
+          // Closed-loop per-event latency: the batch RTT amortized over
+          // its events (one response per batch is the protocol's shape).
+          result.latencies_ms.push_back(rtt / static_cast<double>(n));
+          if (!step.ok || step.verdict != "live") ++result.errors;
+        }
+        const net::Response closed = net::parse_response(client.call(
+            net::render_monitor_close_request(open.session, trace.size())));
+        if (!closed.ok || closed.events != trace.size()) ++result.errors;
+      } catch (const std::exception&) {
+        ++result.errors;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  std::vector<double> latencies;
+  std::uint64_t errors = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t streamed_batches = 0;
+  for (ThreadResult& result : results) {
+    streamed_batches += result.latencies_ms.size();
+    latencies.insert(latencies.end(), result.latencies_ms.begin(),
+                     result.latencies_ms.end());
+    errors += result.errors;
+    overloaded += result.overloaded;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const std::uint64_t total_events =
+      static_cast<std::uint64_t>(trace.size()) *
+      (sessions - overloaded);  // overloaded sessions streamed nothing
+  const double events_per_s =
+      wall_ms > 0 ? static_cast<double>(total_events) / (wall_ms / 1000.0)
+                  : 0.0;
+
+  errors += run_doom_assertions(host, port);
+
+  std::printf(
+      "{\"monitor_loadgen\":{\"sessions\":%zu,\"events_per_session\":%zu,"
+      "\"batch\":%zu,\"total_events\":%llu,\"batches\":%llu,\"errors\":%llu,"
+      "\"overloaded\":%llu,\"wall_ms\":%.1f,\"events_per_s\":%.1f,"
+      "\"latency_ms\":{\"p50\":%.4f,\"p95\":%.4f,\"p99\":%.4f,\"max\":%.4f}}}\n",
+      sessions, trace.size(), batch,
+      static_cast<unsigned long long>(total_events),
+      static_cast<unsigned long long>(streamed_batches),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(overloaded), wall_ms, events_per_s,
+      percentile(latencies, 0.50), percentile(latencies, 0.95),
+      percentile(latencies, 0.99),
+      latencies.empty() ? 0.0 : latencies.back());
+
+  if (want_stats) {
+    try {
+      net::Client client;
+      client.connect(host, static_cast<std::uint16_t>(port));
+      std::puts(client.call("{\"op\":\"stats\"}").c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: stats request failed: %s\n", e.what());
+      return 1;
+    }
+  }
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -107,6 +317,10 @@ int main(int argc, char** argv) {
   std::size_t requests = 64;
   bool certify = false;
   bool want_stats = false;
+  bool monitor_mode = false;
+  std::size_t sessions = 64;
+  std::size_t events = 512;
+  std::size_t batch = 32;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -118,6 +332,14 @@ int main(int argc, char** argv) {
       connections = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--requests" && i + 1 < argc) {
       requests = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--monitor") {
+      monitor_mode = true;
+    } else if (arg == "--sessions" && i + 1 < argc) {
+      sessions = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--events" && i + 1 < argc) {
+      events = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--certify") {
       certify = true;
     } else if (arg == "--stats") {
@@ -129,8 +351,9 @@ int main(int argc, char** argv) {
   if (port <= 0 || port > 65535 || connections == 0 || requests == 0) {
     return usage();
   }
-
-  const std::vector<WorkItem> workload = build_workload(certify);
+  if (monitor_mode && (sessions == 0 || events == 0 || batch == 0)) {
+    return usage();
+  }
 
   // Fail fast (exit 2) when the server is not there at all.
   try {
@@ -141,6 +364,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
+
+  if (monitor_mode) {
+    return run_monitor_mode(host, port, sessions, events, batch, want_stats);
+  }
+
+  const std::vector<WorkItem> workload = build_workload(certify);
 
   std::vector<ThreadResult> results(connections);
   const auto start = std::chrono::steady_clock::now();

@@ -69,6 +69,10 @@
 //   --max-connections N    accepted-client bound (default 256)
 //   --idle-timeout-ms N    close silent connections (default 120000)
 //   --drain-timeout-ms N   graceful-shutdown bound (default 5000)
+//   --max-sessions N       global cap on open monitor sessions (65536)
+//   --max-conn-sessions N  per-connection monitor-session cap (4096)
+//   --max-steps-per-request N  monitor_step batch cap (8192)
+//   --session-idle-timeout-ms N  reclaim idle monitor sessions (0 = never)
 //
 // Exit status: 0 = every line executed (whatever the verdicts) or clean
 // serve shutdown, 2 = bad invocation, unreadable batch file, or a
@@ -103,6 +107,8 @@ int usage() {
       " [--timeout-ms N] [--max-states N] [--threads N] [--certify]\n"
       "            [--max-inflight N] [--max-conn-inflight N]"
       " [--max-connections N] [--idle-timeout-ms N] [--drain-timeout-ms N]\n"
+      "            [--max-sessions N] [--max-conn-sessions N]"
+      " [--max-steps-per-request N] [--session-idle-timeout-ms N]\n"
       "  batch line: <system-file> [--check rl|rs|sat|fair|fairweak]"
       " [--algorithm subset|antichain] [--threads N]"
       " [--property-aut <file>] [<formula...>]\n");
@@ -273,6 +279,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--drain-timeout-ms" && i + 1 < argc) {
       server_options.drain_timeout_ms =
           static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--session-idle-timeout-ms" && i + 1 < argc) {
+      server_options.session_idle_timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-sessions" && i + 1 < argc) {
+      options.max_sessions = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-conn-sessions" && i + 1 < argc) {
+      server_options.limits.max_sessions_per_connection =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (server_options.limits.max_sessions_per_connection == 0) {
+        return usage();
+      }
+    } else if (arg == "--max-steps-per-request" && i + 1 < argc) {
+      server_options.limits.max_steps_per_request =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (server_options.limits.max_steps_per_request == 0) return usage();
     } else if (arg == "--jobs" && i + 1 < argc) {
       options.jobs = static_cast<std::size_t>(std::atoi(argv[++i]));
       if (options.jobs == 0) return usage();
