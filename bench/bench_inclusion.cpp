@@ -7,6 +7,7 @@
 
 #include "rlv/gen/random.hpp"
 #include "rlv/lang/inclusion.hpp"
+#include "rlv/util/budget.hpp"
 #include "rlv/util/rng.hpp"
 
 namespace {
@@ -77,6 +78,67 @@ void BM_Inclusion_RandomPairs(benchmark::State& state) {
 }
 BENCHMARK(BM_Inclusion_RandomPairs)
     ->ArgsProduct({{8, 16, 32}, {0, 1}})
+    ->ArgNames({"states", "subset"})
+    ->Unit(benchmark::kMillisecond);
+
+// Experiment E27: the memory-architecture workload — dense random instances
+// where the frontier is multi-word bitsets with most bits set, so the
+// kernel's time goes to subset stepping, interning, and dedup rather than
+// graph traversal. With `fanout` successors per (state, symbol) cell the
+// subset images hover near 86% occupancy (the fixed point of
+// k ↦ n(1 - e^{-fanout·k/n})), and the reachable-subset orbit is
+// exponential, so each iteration explores a fixed budget of configurations
+// instead of running to a verdict: the measured quantity is the cost of
+// building + deduplicating 50k dense frontier configs.
+Nfa dense_all_accepting(Rng& rng, std::size_t n, std::size_t fanout,
+                        const AlphabetRef& sigma) {
+  Nfa nfa(sigma);
+  for (std::size_t i = 0; i < n; ++i) nfa.add_state(true);
+  for (State s = 0; s < n; ++s) {
+    for (Symbol a = 0; a < sigma->size(); ++a) {
+      for (std::size_t k = 0; k < fanout; ++k) {
+        nfa.add_transition_unique(s, a,
+                                  static_cast<State>(rng.next_below(n)));
+      }
+    }
+  }
+  nfa.set_initial(0);
+  return nfa;
+}
+
+void BM_Inclusion_DenseFrontier(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const InclusionAlgorithm algorithm = state.range(1) == 0
+                                           ? InclusionAlgorithm::kAntichain
+                                           : InclusionAlgorithm::kSubset;
+  constexpr std::uint64_t kConfigBudget = 50000;
+  Rng rng(7);
+  auto sigma = random_alphabet(2);
+  // a = Σ* (one accepting self-loop state): the search degenerates to a
+  // pure dense subset construction over b.
+  Nfa a(sigma);
+  const State u = a.add_state(true);
+  a.add_transition(u, 0, u);
+  a.add_transition(u, 1, u);
+  a.set_initial(u);
+  const Nfa b = dense_all_accepting(rng, n, /*fanout=*/2, sigma);
+
+  std::uint64_t configs = 0;
+  for (auto _ : state) {
+    Budget budget;
+    budget.set_max_states(kConfigBudget);
+    try {
+      benchmark::DoNotOptimize(is_included(a, b, algorithm, &budget));
+    } catch (const ResourceExhausted&) {
+      // Expected: the orbit outruns the config budget by design.
+    }
+    configs += budget.states_used();
+  }
+  state.counters["configs/s"] = benchmark::Counter(
+      static_cast<double>(configs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Inclusion_DenseFrontier)
+    ->ArgsProduct({{64, 256, 1024}, {0, 1}})
     ->ArgNames({"states", "subset"})
     ->Unit(benchmark::kMillisecond);
 

@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
-# Regenerates the committed serving benchmarks: BENCH_net.json (the E25
-# one-shot query workload) and BENCH_monitor.json (the E26 streaming
-# monitor workload). Each file holds the loadgen summary line followed by
-# the daemon's stats record for the same run, so throughput numbers can be
-# read next to cache hit rates and session counters. Run on an otherwise
-# idle machine; numbers move with core count.
+# Regenerates the committed benchmarks:
+#   * BENCH_net.json     — the E25 one-shot query workload;
+#   * BENCH_monitor.json — the E26 streaming monitor workload;
+#   * BENCH_engine.json  — the E27 kernel medians (bench_inclusion +
+#     bench_engine, --benchmark_min_time=0.2, note: NO trailing "s" — the
+#     packaged google-benchmark rejects the suffixed form).
+# The serving files hold the loadgen summary line followed by the daemon's
+# stats record for the same run; the engine file holds per-benchmark median
+# real times and, when BASELINE_INCLUSION/BASELINE_ENGINE point at JSON
+# captures of an earlier build, the speedup against that baseline. Run on
+# an otherwise idle machine with a Release build dir; numbers move with
+# core count and with -O level.
 #
-# usage: scripts/bench_refresh.sh [port] [build-dir]
+# usage: [BASELINE_INCLUSION=old.json] [BASELINE_ENGINE=old.json] \
+#          scripts/bench_refresh.sh [port] [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +37,47 @@ kill -TERM "$SERVER"
 wait "$SERVER"
 trap - EXIT
 
-echo "wrote BENCH_net.json, BENCH_monitor.json:"
+cmake --build "$BUILD" --target bench_inclusion bench_engine -j
+
+"$BUILD"/bench/bench_inclusion --benchmark_min_time=0.2 \
+  --benchmark_format=json > /tmp/rlv_bench_inclusion.json
+"$BUILD"/bench/bench_engine --benchmark_min_time=0.2 \
+  --benchmark_format=json > /tmp/rlv_bench_engine.json
+
+python3 - <<'PYEOF' > BENCH_engine.json
+import json, os
+
+def medians(path):
+    out = {}
+    if not path or not os.path.exists(path):
+        return out
+    for b in json.load(open(path))["benchmarks"]:
+        # With a single run per benchmark the iteration entry is the
+        # median; with --benchmark_repetitions the aggregate row wins.
+        if b.get("aggregate_name") not in (None, "median"):
+            continue
+        out[b["name"].removesuffix("_median")] = (b["real_time"],
+                                                  b["time_unit"])
+    return out
+
+doc = {"schema": "rlv-bench-engine-v1", "min_time": 0.2, "suites": {}}
+for suite, fresh, base_env in (
+        ("bench_inclusion", "/tmp/rlv_bench_inclusion.json",
+         "BASELINE_INCLUSION"),
+        ("bench_engine", "/tmp/rlv_bench_engine.json", "BASELINE_ENGINE")):
+    base = medians(os.environ.get(base_env, ""))
+    rows = {}
+    for name, (t, unit) in medians(fresh).items():
+        row = {"real_time": round(t, 4), "time_unit": unit}
+        if name in base and base[name][0] > 0:
+            row["baseline_real_time"] = round(base[name][0], 4)
+            row["speedup"] = round(base[name][0] / t, 2) if t > 0 else None
+        rows[name] = row
+    doc["suites"][suite] = rows
+print(json.dumps(doc, indent=1))
+PYEOF
+
+echo "wrote BENCH_net.json, BENCH_monitor.json, BENCH_engine.json:"
 head -c 400 BENCH_net.json; echo
 head -c 400 BENCH_monitor.json; echo
+head -c 400 BENCH_engine.json; echo

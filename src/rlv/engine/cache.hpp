@@ -13,7 +13,12 @@
 //     alive by the caller even if the entry is evicted meanwhile;
 //   * bounded size with least-recently-used eviction once `capacity`
 //     resident entries exist (in-flight computations are never evicted);
-//   * hit/miss/eviction counters, aggregated into EngineStats.
+//   * hit/miss/coalesced/eviction counters, aggregated into EngineStats. A
+//     hit means the value was resident; a lookup that lands on an entry
+//     whose computation is still in flight is counted as `coalesced`, not
+//     as a hit — the caller still waits roughly as long as the computing
+//     thread, so folding those into hits overstated cache effectiveness
+//     under contention.
 
 #include <cstdint>
 #include <future>
@@ -25,12 +30,14 @@
 namespace rlv {
 
 struct CacheCounters {
-  std::uint64_t hits = 0;
+  std::uint64_t hits = 0;       // resident value returned immediately
+  std::uint64_t coalesced = 0;  // joined an in-flight computation
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
 
   CacheCounters& operator+=(const CacheCounters& o) {
     hits += o.hits;
+    coalesced += o.coalesced;
     misses += o.misses;
     evictions += o.evictions;
     return *this;
@@ -57,7 +64,7 @@ class MemoCache {
       std::lock_guard lock(mutex_);
       auto it = entries_.find(key);
       if (it != entries_.end()) {
-        ++counters_.hits;
+        ++(it->second.resident ? counters_.hits : counters_.coalesced);
         it->second.last_used = ++tick_;
         future = it->second.future;
       } else {

@@ -20,7 +20,8 @@ void append_word_array(std::ostream& out, const char* field,
 
 void append_counters(std::ostream& out, const char* name,
                      const CacheCounters& c) {
-  out << '"' << name << "\":{\"hits\":" << c.hits << ",\"misses\":" << c.misses
+  out << '"' << name << "\":{\"hits\":" << c.hits
+      << ",\"coalesced\":" << c.coalesced << ",\"misses\":" << c.misses
       << ",\"evictions\":" << c.evictions << '}';
 }
 
@@ -62,6 +63,7 @@ std::string render_stats(const EngineStats& stats) {
     out << '"' << stage_name(static_cast<Stage>(i))
         << "\":{\"calls\":" << m.calls << ",\"states\":" << m.states_built
         << ",\"peak_frontier\":" << m.peak_antichain
+        << ",\"peak_kernel_bytes\":" << m.peak_memory_bytes
         << ",\"ms\":" << static_cast<double>(m.nanos) / 1e6 << '}';
   }
   out << "}}";
@@ -127,7 +129,8 @@ std::string render_query_record(std::size_t id, const Query& query,
     out << ",\"error\":\"" << json_escape(v.error) << '"';
   }
   out << ",\"ms\":" << v.millis << ",\"stages\":" << render_stage_times(v.profile)
-      << ",\"cache\":{\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
+      << ",\"cache\":{\"hits\":" << cache.hits
+      << ",\"coalesced\":" << cache.coalesced << ",\"misses\":" << cache.misses
       << ",\"evictions\":" << cache.evictions << "}}";
   return out.str();
 }

@@ -32,10 +32,8 @@ Nfa image_nfa(const Nfa& nfa, const Homomorphism& h) {
 
   Nfa result(h.target());
   for (State s = 0; s < n; ++s) {
-    bool acc = false;
-    closure[s].for_each([&](std::size_t x) {
-      acc = acc || nfa.is_accepting(static_cast<State>(x));
-    });
+    const bool acc = closure[s].any_of(
+        [&](std::size_t x) { return nfa.is_accepting(static_cast<State>(x)); });
     result.add_state(acc);
   }
   // Deduplicate per (symbol, target) with a stamp array rather than linear

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cassert>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <memory>
@@ -11,11 +12,13 @@
 #include <optional>
 #include <shared_mutex>
 #include <thread>
-#include <unordered_map>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "rlv/util/arena.hpp"
 #include "rlv/util/hash.hpp"
+#include "rlv/util/intern.hpp"
 
 namespace rlv {
 
@@ -23,41 +26,27 @@ namespace {
 
 /// Reverse-linked witness path through the explored configuration graph.
 /// Siblings share their parent's tail, so total witness memory is one small
-/// node per explored configuration — the previous representation copied the
-/// full word into every queued configuration, which is O(frontier × depth)
-/// and dominated peak memory on deep-counterexample instances.
+/// node per explored configuration. Nodes live in the search's bump arena
+/// and carry raw parent pointers: teardown is a wholesale arena free, so a
+/// counterexample hundreds of thousands of symbols deep cannot overflow the
+/// stack the way a recursively-destructed shared_ptr chain did.
 struct PathNode {
   Symbol symbol;
-  std::shared_ptr<const PathNode> parent;
+  const PathNode* parent;
 };
+static_assert(std::is_trivially_destructible_v<PathNode>);
 
-using PathPtr = std::shared_ptr<const PathNode>;
-
-PathPtr extend(const PathPtr& parent, Symbol symbol) {
-  return std::make_shared<const PathNode>(PathNode{symbol, parent});
+const PathNode* extend(Arena& arena, const PathNode* parent, Symbol symbol) {
+  return arena.create<PathNode>(symbol, parent);
 }
 
-Word backtrace(const PathPtr& tip) {
+Word backtrace(const PathNode* tip) {
   Word w;
-  for (const PathNode* n = tip.get(); n != nullptr; n = n->parent.get()) {
+  for (const PathNode* n = tip; n != nullptr; n = n->parent) {
     w.push_back(n->symbol);
   }
   std::reverse(w.begin(), w.end());
   return w;
-}
-
-/// Explored configuration: a left-hand NFA state paired with the subset of
-/// right-hand states compatible with the word read so far.
-struct Config {
-  State left;
-  DynBitset right;
-  PathPtr path;  // witness word leading here, shared with siblings
-};
-
-bool bitset_accepts(const Nfa& b, const DynBitset& set) {
-  bool acc = false;
-  set.for_each([&](std::size_t s) { acc = acc || b.is_accepting(s); });
-  return acc;
 }
 
 DynBitset initial_set(const Nfa& b) {
@@ -66,43 +55,128 @@ DynBitset initial_set(const Nfa& b) {
   return init;
 }
 
+/// Packs a (left NFA state, interned right-set id) configuration into the
+/// 64-bit visited-set key.
+std::uint64_t config_key(State left, std::uint32_t right_id) {
+  return (static_cast<std::uint64_t>(left) << 32) | right_id;
+}
+
+/// Explored configuration of the sequential kernels: a left-hand NFA state
+/// paired with the interned id of the right-hand subset. 16 bytes, no owned
+/// heap payload — the previous representation carried a DynBitset (own
+/// allocation) and a shared_ptr per queued configuration.
+struct SeqConfig {
+  State left;
+  std::uint32_t right;
+  const PathNode* path;
+};
+
+/// Shared allocation/stepping state of the sequential kernels. Right-hand
+/// subsets live interned in one contiguous word array; the two scratch
+/// buffers (`cur`, `nxt`) are the only per-step storage, reused for the
+/// whole search. Everything is freed wholesale when the search returns —
+/// including on a budget throw.
+class SeqContext {
+ public:
+  SeqContext(const Nfa& b, Budget* budget)
+      : b_(b), budget_(budget), interner_(b.num_states()) {
+    const DynBitset acc = b.accepting_set();
+    acc_words_.assign(acc.words_data(), acc.words_data() + acc.num_words());
+    cur_.assign(interner_.words_per(), 0);
+    nxt_.assign(interner_.words_per(), 0);
+  }
+
+  Arena& arena() { return arena_; }
+  BitsetInterner& interner() { return interner_; }
+
+  /// Interns the right-hand initial subset and returns its id.
+  std::uint32_t intern_initial() {
+    std::fill(nxt_.begin(), nxt_.end(), 0);
+    for (const State s : b_.initial()) {
+      nxt_[s >> 6] |= std::uint64_t{1} << (s & 63);
+    }
+    return interner_.intern(nxt_.data()).first;
+  }
+
+  /// Copies the interned set `id` into the step source buffer. Interned
+  /// word pointers are invalidated by the next intern, so every popped
+  /// configuration is staged here before its successors are computed.
+  void load(std::uint32_t id) {
+    const std::uint64_t* w = interner_.words(id);
+    std::copy(w, w + interner_.words_per(), cur_.begin());
+  }
+
+  [[nodiscard]] bool cur_accepts() const {
+    for (std::size_t i = 0; i < acc_words_.size(); ++i) {
+      if ((cur_[i] & acc_words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  /// Steps the staged subset by `symbol` and interns the successor set.
+  std::uint32_t step_and_intern(Symbol symbol) {
+    b_.step_words(cur_.data(), symbol, nxt_.data());
+    return interner_.intern(nxt_.data()).first;
+  }
+
+  [[nodiscard]] const std::uint64_t* next_words() const { return nxt_.data(); }
+
+  /// Budget charge for one newly recorded configuration, plus the memory
+  /// observation (arena chunks + intern storage + the caller's own tables).
+  void charge(std::size_t extra_bytes) {
+    budget_charge(budget_);
+    budget_note_memory(budget_, arena_.bytes_reserved() + interner_.bytes() +
+                                    extra_bytes);
+  }
+
+ private:
+  const Nfa& b_;
+  Budget* budget_;
+  Arena arena_;
+  BitsetInterner interner_;
+  std::vector<std::uint64_t> acc_words_;
+  std::vector<std::uint64_t> cur_;
+  std::vector<std::uint64_t> nxt_;
+};
+
 InclusionResult subset_inclusion(const Nfa& a, const Nfa& b, Budget* budget) {
-  const DynBitset b_init = initial_set(b);
+  a.finalize();
+  b.finalize();
+  SeqContext ctx(b, budget);
+  U64KeySet seen;
+  std::uint64_t seen_total = 0;
 
-  std::unordered_map<State, std::vector<DynBitset>> seen;
-  std::size_t seen_total = 0;
-
-  auto already_seen = [&](State left, const DynBitset& right) {
-    auto it = seen.find(left);
-    if (it == seen.end()) return false;
-    return std::find(it->second.begin(), it->second.end(), right) !=
-           it->second.end();
-  };
-
-  auto record = [&](State left, const DynBitset& right) {
-    seen[left].push_back(right);
-    budget_charge(budget);
+  auto record = [&](State left, std::uint32_t right_id) {
+    if (!seen.insert(config_key(left, right_id))) return false;
+    ctx.charge(seen.bytes());
     budget_note_frontier(budget, ++seen_total);
+    return true;
   };
 
-  std::deque<Config> queue;
+  std::deque<SeqConfig> queue;
+  const std::uint32_t init_id = ctx.intern_initial();
   for (const State s : a.initial()) {
-    if (already_seen(s, b_init)) continue;
-    record(s, b_init);
-    queue.push_back({s, b_init, nullptr});
+    if (record(s, init_id)) queue.push_back({s, init_id, nullptr});
   }
   while (!queue.empty()) {
-    Config cfg = std::move(queue.front());
+    const SeqConfig cfg = queue.front();
     queue.pop_front();
-    if (a.is_accepting(cfg.left) && !bitset_accepts(b, cfg.right)) {
+    ctx.load(cfg.right);
+    if (a.is_accepting(cfg.left) && !ctx.cur_accepts()) {
       return {false, backtrace(cfg.path)};
     }
-    for (const auto& t : a.out(cfg.left)) {
-      DynBitset next_right = b.step(cfg.right, t.symbol);
-      if (already_seen(t.target, next_right)) continue;
-      record(t.target, next_right);
-      queue.push_back(
-          {t.target, std::move(next_right), extend(cfg.path, t.symbol)});
+    // Out-edges arrive grouped by symbol (CSR), so the subset step — the
+    // expensive part — runs once per distinct symbol, not once per edge.
+    const std::span<const Transition> edges = a.out(cfg.left);
+    for (std::size_t i = 0; i < edges.size();) {
+      const Symbol sym = edges[i].symbol;
+      const std::uint32_t next_id = ctx.step_and_intern(sym);
+      const PathNode* path = nullptr;
+      for (; i < edges.size() && edges[i].symbol == sym; ++i) {
+        if (!record(edges[i].target, next_id)) continue;
+        if (path == nullptr) path = extend(ctx.arena(), cfg.path, sym);
+        queue.push_back({edges[i].target, next_id, path});
+      }
     }
   }
   return {true, std::nullopt};
@@ -113,11 +187,19 @@ InclusionResult subset_inclusion(const Nfa& a, const Nfa& b, Budget* budget) {
 /// (p, S') (a smaller right-hand set rejects more words).
 InclusionResult antichain_inclusion(const Nfa& a, const Nfa& b,
                                     Budget* budget) {
-  const DynBitset b_init = initial_set(b);
+  a.finalize();
+  b.finalize();
+  SeqContext ctx(b, budget);
+  BitsetInterner& interner = ctx.interner();
+  const std::size_t words_per = interner.words_per();
 
-  // Antichain of ⊆-minimal right-hand sets, per left-hand state.
-  std::unordered_map<State, std::vector<DynBitset>> antichain;
+  // Antichain of ⊆-minimal right-hand sets, per left-hand state: a dense
+  // vector of interned ids per left state. Subsumption probes compare the
+  // candidate's scratch words against interned blocks; the candidate is
+  // interned only when it actually enters the antichain.
+  std::vector<std::vector<std::uint32_t>> antichain(a.num_states());
   std::size_t antichain_total = 0;
+  std::size_t chain_bytes = 0;
 
 #ifndef NDEBUG
   // Frontier-accounting audit: the running counter must equal the true
@@ -125,46 +207,74 @@ InclusionResult antichain_inclusion(const Nfa& a, const Nfa& b,
   // one insertion subsumes several existing elements).
   auto debug_recount = [&] {
     std::size_t total = 0;
-    for (const auto& [left, chain] : antichain) total += chain.size();
+    for (const auto& chain : antichain) total += chain.size();
     return total;
   };
 #endif
 
-  // Returns false when (left, right) is subsumed by an existing element;
-  // otherwise inserts it and removes elements it subsumes.
-  auto insert = [&](State left, const DynBitset& right) {
-    auto& chain = antichain[left];
-    for (const auto& existing : chain) {
-      if (existing.is_subset_of(right)) return false;
+  // Returns kNoId when the candidate in ctx's next buffer is subsumed by an
+  // existing element; otherwise inserts it (dropping elements it subsumes)
+  // and returns its interned id.
+  auto insert = [&](State left) -> std::uint32_t {
+    std::vector<std::uint32_t>& chain = antichain[left];
+    const std::uint64_t* w = ctx.next_words();
+    auto subset_of_w = [&](std::uint32_t e) {
+      const std::uint64_t* ew = interner.words(e);
+      for (std::size_t i = 0; i < words_per; ++i) {
+        if ((ew[i] & ~w[i]) != 0) return false;
+      }
+      return true;
+    };
+    auto superset_of_w = [&](std::uint32_t e) {
+      const std::uint64_t* ew = interner.words(e);
+      for (std::size_t i = 0; i < words_per; ++i) {
+        if ((w[i] & ~ew[i]) != 0) return false;
+      }
+      return true;
+    };
+    for (const std::uint32_t e : chain) {
+      if (subset_of_w(e)) return IdTable::kNoId;
     }
     const std::size_t before = chain.size();
-    std::erase_if(chain,
-                  [&](const DynBitset& e) { return right.is_subset_of(e); });
+    std::erase_if(chain, superset_of_w);
     const std::size_t erased = before - chain.size();
     assert(erased <= antichain_total);
     antichain_total -= erased;
-    chain.push_back(right);
-    budget_charge(budget);
+    const std::uint32_t id = interner.intern(w).first;
+    chain.push_back(id);
+    chain_bytes += sizeof(std::uint32_t);
+    ctx.charge(chain_bytes);
     budget_note_frontier(budget, ++antichain_total);
     assert(antichain_total == debug_recount());
-    return true;
+    return id;
   };
 
-  std::deque<Config> queue;
+  // intern_initial leaves the initial subset staged in the probe buffer, and
+  // insert() only reads it, so the initial states all probe the same words.
+  std::deque<SeqConfig> queue;
+  const std::uint32_t init_id = ctx.intern_initial();
   for (const State s : a.initial()) {
-    if (insert(s, b_init)) queue.push_back({s, b_init, nullptr});
+    if (insert(s) != IdTable::kNoId) queue.push_back({s, init_id, nullptr});
   }
   while (!queue.empty()) {
-    Config cfg = std::move(queue.front());
+    const SeqConfig cfg = queue.front();
     queue.pop_front();
-    if (a.is_accepting(cfg.left) && !bitset_accepts(b, cfg.right)) {
+    ctx.load(cfg.right);
+    if (a.is_accepting(cfg.left) && !ctx.cur_accepts()) {
       return {false, backtrace(cfg.path)};
     }
-    for (const auto& t : a.out(cfg.left)) {
-      DynBitset next_right = b.step(cfg.right, t.symbol);
-      if (!insert(t.target, next_right)) continue;
-      queue.push_back(
-          {t.target, std::move(next_right), extend(cfg.path, t.symbol)});
+    // Out-edges arrive grouped by symbol (CSR): one subset step per distinct
+    // symbol, then one antichain probe per target against the staged words.
+    const std::span<const Transition> edges = a.out(cfg.left);
+    for (std::size_t i = 0; i < edges.size();) {
+      const Symbol sym = edges[i].symbol;
+      const std::uint32_t next_id = ctx.step_and_intern(sym);
+      const PathNode* path = nullptr;
+      for (; i < edges.size() && edges[i].symbol == sym; ++i) {
+        if (insert(edges[i].target) == IdTable::kNoId) continue;
+        if (path == nullptr) path = extend(ctx.arena(), cfg.path, sym);
+        queue.push_back({edges[i].target, next_id, path});
+      }
     }
   }
   return {true, std::nullopt};
@@ -181,6 +291,11 @@ InclusionResult antichain_inclusion(const Nfa& a, const Nfa& b,
 // side (the common case — most successors are subsumed), and only an
 // insertion re-checks and mutates under the exclusive side.
 //
+// Witness path nodes live in per-worker arenas (index = creating worker), so
+// allocation is uncontended; parent pointers may cross arenas, which is safe
+// because every arena outlives the search and nodes are immutable once
+// published through a queue mutex.
+//
 // The boolean verdict is order-independent: the search is exhaustive up to
 // subsumption, and subsumption never removes the last witness of a
 // counterexample (the subsuming element reaches every counterexample the
@@ -195,10 +310,12 @@ class ParallelInclusion {
                     std::size_t threads, Budget* budget)
       : a_(a),
         b_(b),
+        b_acc_(b.accepting_set()),
         use_antichain_(use_antichain),
         budget_(budget),
         store_(a.num_states()),
-        queues_(threads) {}
+        queues_(threads),
+        arenas_(threads) {}
 
   InclusionResult run() {
     const DynBitset b_init = initial_set(b_);
@@ -217,12 +334,22 @@ class ParallelInclusion {
     worker(0);
     for (std::thread& t : workers) t.join();
 
+    std::size_t arena_bytes = 0;
+    for (const Arena& arena : arenas_) arena_bytes += arena.bytes_reserved();
+    budget_note_memory(budget_, arena_bytes);
+
     if (failure_) std::rethrow_exception(failure_);
     if (counterexample_) return {false, std::move(counterexample_)};
     return {true, std::nullopt};
   }
 
  private:
+  struct Config {
+    State left;
+    DynBitset right;
+    const PathNode* path;
+  };
+
   struct WorkerQueue {
     std::mutex mutex;
     std::deque<Config> configs;
@@ -295,7 +422,7 @@ class ParallelInclusion {
   }
 
   void process(std::size_t id, Config cfg) {
-    if (a_.is_accepting(cfg.left) && !bitset_accepts(b_, cfg.right)) {
+    if (a_.is_accepting(cfg.left) && !cfg.right.intersects(b_acc_)) {
       std::lock_guard lock(result_mutex_);
       if (!counterexample_) counterexample_ = backtrace(cfg.path);
       done_.store(true, std::memory_order_release);
@@ -307,7 +434,7 @@ class ParallelInclusion {
       if (!insert(t.target, next_right)) continue;
       pending_.fetch_add(1, std::memory_order_relaxed);
       push(id, Config{t.target, std::move(next_right),
-                      extend(cfg.path, t.symbol)});
+                      extend(arenas_[id], cfg.path, t.symbol)});
     }
   }
 
@@ -338,6 +465,7 @@ class ParallelInclusion {
 
   const Nfa& a_;
   const Nfa& b_;
+  const DynBitset b_acc_;
   const bool use_antichain_;
   Budget* budget_;
 
@@ -346,6 +474,7 @@ class ParallelInclusion {
   std::atomic<std::uint64_t> total_{0};
 
   std::vector<WorkerQueue> queues_;
+  std::vector<Arena> arenas_;  // one per worker: uncontended PathNode alloc
   std::atomic<std::int64_t> pending_{0};
   std::atomic<bool> done_{false};
 
@@ -361,6 +490,11 @@ InclusionResult check_inclusion(const Nfa& a, const Nfa& b,
                                 std::size_t threads) {
   require_same_alphabet(a.alphabet(), b.alphabet(), "check_inclusion");
   StageScope scope(budget, Stage::kInclusion);
+  // Build both CSR transition indexes on this thread before any search (in
+  // particular before worker fan-out), so the lazy build never runs inside
+  // a hot loop or races a first concurrent read.
+  a.finalize();
+  b.finalize();
   if (threads > 1) {
     ParallelInclusion search(
         a, b, algorithm == InclusionAlgorithm::kAntichain, threads, budget);

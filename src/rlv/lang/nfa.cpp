@@ -1,41 +1,125 @@
 #include "rlv/lang/nfa.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace rlv {
 
 State Nfa::add_state(bool accepting) {
+  reopen_for_append();
   const State s = static_cast<State>(accepting_.size());
   accepting_.push_back(accepting);
-  out_.emplace_back();
   return s;
 }
 
 void Nfa::add_transition(State from, Symbol symbol, State to) {
   assert(from < num_states() && to < num_states());
   assert(symbol < sigma_->size());
-  out_[from].push_back({symbol, to});
+  reopen_for_append();
+  build_src_.push_back(from);
+  build_edge_.push_back({symbol, to});
 }
 
 void Nfa::add_transition_unique(State from, Symbol symbol, State to) {
-  for (const auto& t : out_[from]) {
-    if (t.symbol == symbol && t.target == to) return;
+  if (indexed_.load(std::memory_order_relaxed)) {
+    for (const Transition& t : block(from, symbol)) {
+      if (t.target == to) return;
+    }
+  } else {
+    for (std::size_t i = 0; i < build_src_.size(); ++i) {
+      if (build_src_[i] == from && build_edge_[i].symbol == symbol &&
+          build_edge_[i].target == to) {
+        return;
+      }
+    }
   }
   add_transition(from, symbol, to);
 }
 
 std::size_t Nfa::num_transitions() const {
-  std::size_t n = 0;
-  for (const auto& edges : out_) n += edges.size();
-  return n;
+  return indexed_.load(std::memory_order_acquire) ? csr_.size()
+                                                  : build_edge_.size();
+}
+
+void Nfa::build_index() const {
+  const std::size_t n = num_states();
+  const std::size_t width = sigma_->size();
+  const std::size_t cells = n * width;
+  sym_off_.assign(cells + 1, 0);
+  for (std::size_t i = 0; i < build_edge_.size(); ++i) {
+    const std::size_t cell =
+        static_cast<std::size_t>(build_src_[i]) * width +
+        build_edge_[i].symbol;
+    ++sym_off_[cell + 1];
+  }
+  for (std::size_t c = 0; c < cells; ++c) sym_off_[c + 1] += sym_off_[c];
+  csr_.resize(build_edge_.size());
+  std::vector<std::uint32_t> cursor(sym_off_.begin(), sym_off_.end() - 1);
+  for (std::size_t i = 0; i < build_edge_.size(); ++i) {
+    const std::size_t cell =
+        static_cast<std::size_t>(build_src_[i]) * width +
+        build_edge_[i].symbol;
+    csr_[cursor[cell]++] = build_edge_[i];
+  }
+  build_src_.clear();
+  build_src_.shrink_to_fit();
+  build_edge_.clear();
+  build_edge_.shrink_to_fit();
+}
+
+void Nfa::reopen_for_append() {
+  if (!indexed_.load(std::memory_order_relaxed)) return;
+  // Scatter the CSR edges back into the building arrays. Iterating the CSR
+  // yields them symbol-major per state — a permutation of the original
+  // insertion order, which only affects iteration order, never the language.
+  const std::size_t width = sigma_->size();
+  build_src_.reserve(csr_.size());
+  build_edge_.reserve(csr_.size());
+  for (State s = 0; s < num_states(); ++s) {
+    const std::size_t row = static_cast<std::size_t>(s) * width;
+    for (std::uint32_t i = sym_off_[row]; i < sym_off_[row + width]; ++i) {
+      build_src_.push_back(s);
+      build_edge_.push_back(csr_[i]);
+    }
+  }
+  csr_.clear();
+  csr_.shrink_to_fit();
+  sym_off_.clear();
+  sym_off_.shrink_to_fit();
+  indexed_.store(false, std::memory_order_relaxed);
+}
+
+void Nfa::copy_from(const Nfa& o) {
+  sigma_ = o.sigma_;
+  accepting_ = o.accepting_;
+  initial_ = o.initial_;
+  build_src_ = o.build_src_;
+  build_edge_ = o.build_edge_;
+  csr_ = o.csr_;
+  sym_off_ = o.sym_off_;
+  indexed_.store(o.indexed_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+}
+
+void Nfa::move_from(Nfa&& o) {
+  sigma_ = std::move(o.sigma_);
+  accepting_ = std::move(o.accepting_);
+  initial_ = std::move(o.initial_);
+  build_src_ = std::move(o.build_src_);
+  build_edge_ = std::move(o.build_edge_);
+  csr_ = std::move(o.csr_);
+  sym_off_ = std::move(o.sym_off_);
+  indexed_.store(o.indexed_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+  o.indexed_.store(false, std::memory_order_relaxed);
 }
 
 std::vector<State> Nfa::successors(State from, Symbol symbol) const {
+  const std::span<const Transition> edges = block(from, symbol);
   std::vector<State> result;
-  for (const auto& t : out_[from]) {
-    if (t.symbol == symbol) result.push_back(t.target);
-  }
+  result.reserve(edges.size());
+  for (const Transition& t : edges) result.push_back(t.target);
   std::sort(result.begin(), result.end());
   result.erase(std::unique(result.begin(), result.end()), result.end());
   return result;
@@ -44,11 +128,33 @@ std::vector<State> Nfa::successors(State from, Symbol symbol) const {
 DynBitset Nfa::step(const DynBitset& states, Symbol symbol) const {
   DynBitset next(num_states());
   states.for_each([&](std::size_t s) {
-    for (const auto& t : out_[s]) {
-      if (t.symbol == symbol) next.set(t.target);
+    for (const Transition& t : block(static_cast<State>(s), symbol)) {
+      next.set(t.target);
     }
   });
   return next;
+}
+
+void Nfa::step_words(const std::uint64_t* src, Symbol symbol,
+                     std::uint64_t* dst) const {
+  ensure_index();
+  const std::size_t n = num_states();
+  const std::size_t num_words = (n + 63) / 64;
+  for (std::size_t i = 0; i < num_words; ++i) dst[i] = 0;
+  const std::size_t width = sigma_->size();
+  for (std::size_t wi = 0; wi < num_words; ++wi) {
+    std::uint64_t w = src[wi];
+    while (w != 0) {
+      const std::size_t s =
+          wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      w &= w - 1;
+      const std::size_t cell = s * width + symbol;
+      for (std::uint32_t i = sym_off_[cell]; i < sym_off_[cell + 1]; ++i) {
+        const State t = csr_[i].target;
+        dst[t >> 6] |= std::uint64_t{1} << (t & 63);
+      }
+    }
+  }
 }
 
 DynBitset Nfa::run(const Word& w) const {
@@ -62,9 +168,7 @@ DynBitset Nfa::run(const Word& w) const {
 }
 
 bool Nfa::accepts(const Word& w) const {
-  bool found = false;
-  run(w).for_each([&](std::size_t s) { found = found || accepting_[s]; });
-  return found;
+  return run(w).any_of([&](std::size_t s) { return accepting_[s]; });
 }
 
 DynBitset Nfa::reachable() const {
@@ -79,7 +183,7 @@ DynBitset Nfa::reachable() const {
   while (!work.empty()) {
     const State s = work.back();
     work.pop_back();
-    for (const auto& t : out_[s]) {
+    for (const Transition& t : out(s)) {
       if (!seen.test(t.target)) {
         seen.set(t.target);
         work.push_back(t.target);
@@ -93,7 +197,7 @@ DynBitset Nfa::productive() const {
   // Backward reachability from accepting states over reversed edges.
   std::vector<std::vector<State>> pred(num_states());
   for (State s = 0; s < num_states(); ++s) {
-    for (const auto& t : out_[s]) pred[t.target].push_back(s);
+    for (const Transition& t : out(s)) pred[t.target].push_back(s);
   }
   DynBitset seen(num_states());
   std::vector<State> work;
@@ -125,21 +229,23 @@ DynBitset Nfa::accepting_set() const {
 }
 
 std::string Nfa::to_string() const {
-  std::string out = "NFA states=" + std::to_string(num_states()) +
-                    " transitions=" + std::to_string(num_transitions()) + "\n";
-  out += "initial:";
-  for (const State s : initial_) out += " " + std::to_string(s);
-  out += "\n";
+  std::string out_str = "NFA states=" + std::to_string(num_states()) +
+                        " transitions=" + std::to_string(num_transitions()) +
+                        "\n";
+  out_str += "initial:";
+  for (const State s : initial_) out_str += " " + std::to_string(s);
+  out_str += "\n";
   for (State s = 0; s < num_states(); ++s) {
-    out += std::to_string(s);
-    if (accepting_[s]) out += "*";
-    out += ":";
-    for (const auto& t : out_[s]) {
-      out += " -" + sigma_->name(t.symbol) + "->" + std::to_string(t.target);
+    out_str += std::to_string(s);
+    if (accepting_[s]) out_str += "*";
+    out_str += ":";
+    for (const Transition& t : out(s)) {
+      out_str +=
+          " -" + sigma_->name(t.symbol) + "->" + std::to_string(t.target);
     }
-    out += "\n";
+    out_str += "\n";
   }
-  return out;
+  return out_str;
 }
 
 }  // namespace rlv

@@ -7,11 +7,24 @@
 //     Section 6) — every state accepting,
 //   * the finite-word skeleton of Büchi automata (rlv_omega wraps Nfa).
 //
-// States are dense uint32 ids. Transitions are stored per state; no ε-moves
-// at this layer (homomorphic images perform ε-elimination eagerly, see
-// rlv/hom/image.hpp).
+// States are dense uint32 ids. Transitions are stored structure-of-arrays
+// style: while an automaton is being built, edges accumulate in flat
+// append-only arrays; on first read access they are counting-sorted once
+// into a symbol-indexed CSR layout — one contiguous edge array grouped by
+// (state, symbol) plus an offsets table — so the hot kernels (subset
+// stepping, inclusion, products) get the successor block of (q, a) as a
+// contiguous span without scanning or chasing per-state vectors. Mutating
+// after a read is allowed (the index is rebuilt lazily) but not free;
+// builders should finish construction before handing the automaton to a
+// kernel. Reads are thread-safe after the index exists or when the first
+// concurrent readers race to build it (double-checked lock); mutation is
+// never thread-safe, as before. No ε-moves at this layer (homomorphic
+// images perform ε-elimination eagerly, see rlv/hom/image.hpp).
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,6 +48,17 @@ class Nfa {
  public:
   explicit Nfa(AlphabetRef sigma) : sigma_(std::move(sigma)) {}
 
+  Nfa(const Nfa& o) { copy_from(o); }
+  Nfa& operator=(const Nfa& o) {
+    if (this != &o) copy_from(o);
+    return *this;
+  }
+  Nfa(Nfa&& o) noexcept { move_from(std::move(o)); }
+  Nfa& operator=(Nfa&& o) noexcept {
+    if (this != &o) move_from(std::move(o));
+    return *this;
+  }
+
   [[nodiscard]] const AlphabetRef& alphabet() const { return sigma_; }
 
   /// Adds a fresh state and returns its id.
@@ -56,15 +80,44 @@ class Nfa {
 
   [[nodiscard]] const std::vector<State>& initial() const { return initial_; }
   [[nodiscard]] bool is_accepting(State s) const { return accepting_[s]; }
-  [[nodiscard]] const std::vector<Transition>& out(State s) const {
-    return out_[s];
+
+  /// All out-edges of `s`, grouped by symbol (contiguous CSR block). The
+  /// span is invalidated by any later mutation of the automaton.
+  [[nodiscard]] std::span<const Transition> out(State s) const {
+    ensure_index();
+    const std::size_t row = static_cast<std::size_t>(s) * sigma_->size();
+    return {csr_.data() + sym_off_[row],
+            csr_.data() + sym_off_[row + sigma_->size()]};
   }
+
+  /// The contiguous successor block of (`s`, `symbol`) — the unit the
+  /// subset-construction kernels iterate. May contain duplicate targets if
+  /// parallel edges were added.
+  [[nodiscard]] std::span<const Transition> block(State s,
+                                                  Symbol symbol) const {
+    ensure_index();
+    const std::size_t cell =
+        static_cast<std::size_t>(s) * sigma_->size() + symbol;
+    return {csr_.data() + sym_off_[cell], csr_.data() + sym_off_[cell + 1]};
+  }
+
+  /// Builds the CSR transition index now (idempotent). Kernels call this on
+  /// the coordinating thread before fanning out workers so the lazy build
+  /// never runs inside a hot loop.
+  void finalize() const { ensure_index(); }
 
   /// Successor set of `from` under `symbol` as a sorted, deduplicated vector.
   [[nodiscard]] std::vector<State> successors(State from, Symbol symbol) const;
 
   /// Advances a state set by one symbol.
   [[nodiscard]] DynBitset step(const DynBitset& states, Symbol symbol) const;
+
+  /// Raw-word variant of step() for kernels that keep state sets in interned
+  /// or scratch storage: reads `num_states()` bits from `src`, writes the
+  /// successor set under `symbol` into `dst` (both `(num_states()+63)/64`
+  /// words; dst is overwritten). `src` and `dst` must not alias.
+  void step_words(const std::uint64_t* src, Symbol symbol,
+                  std::uint64_t* dst) const;
 
   /// Set of states reached from the initial states by reading `w` (all runs).
   [[nodiscard]] DynBitset run(const Word& w) const;
@@ -85,10 +138,40 @@ class Nfa {
   [[nodiscard]] std::string to_string() const;
 
  private:
+  void ensure_index() const {
+    if (indexed_.load(std::memory_order_acquire)) return;
+    std::lock_guard lock(index_mutex_);
+    if (indexed_.load(std::memory_order_relaxed)) return;
+    build_index();
+    indexed_.store(true, std::memory_order_release);
+  }
+
+  void build_index() const;
+
+  /// Re-opens the automaton for appends after it has been indexed: scatters
+  /// the CSR edges back into the building arrays and drops the index.
+  void reopen_for_append();
+
+  void copy_from(const Nfa& o);
+  void move_from(Nfa&& o);
+
   AlphabetRef sigma_;
-  std::vector<std::vector<Transition>> out_;
   std::vector<bool> accepting_;
   std::vector<State> initial_;
+
+  // Building representation: flat append-only parallel arrays (SoA).
+  // Cleared once the CSR index is built; exactly one of the two
+  // representations holds the edges at any time.
+  mutable std::vector<State> build_src_;
+  mutable std::vector<Transition> build_edge_;
+
+  // Finalized representation: edges counting-sorted by (source, symbol),
+  // stable within a (source, symbol) cell; sym_off_ has
+  // num_states * |Σ| + 1 entries delimiting the per-symbol blocks.
+  mutable std::vector<Transition> csr_;
+  mutable std::vector<std::uint32_t> sym_off_;
+  mutable std::atomic<bool> indexed_{false};
+  mutable std::mutex index_mutex_;
 };
 
 }  // namespace rlv

@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "rlv/util/hash.hpp"
+#include "rlv/util/intern.hpp"
 
 namespace rlv {
 
@@ -18,6 +19,7 @@ Dfa determinize(const Nfa& nfa, Budget* budget) {
   Dfa dfa(nfa.alphabet());
   const std::size_t n = nfa.num_states();
   const std::size_t sigma = nfa.alphabet()->size();
+  nfa.finalize();
 
   DynBitset init(n);
   for (const State s : nfa.initial()) init.set(s);
@@ -29,31 +31,49 @@ Dfa determinize(const Nfa& nfa, Budget* budget) {
     return dfa;
   }
 
-  std::unordered_map<DynBitset, State, DynBitsetHash> ids;
-  std::vector<DynBitset> sets;
-  auto intern = [&](const DynBitset& set) -> State {
-    auto [it, inserted] = ids.emplace(set, static_cast<State>(sets.size()));
-    if (inserted) {
-      budget_charge(budget);
-      bool acc = false;
-      set.for_each([&](std::size_t s) { acc = acc || nfa.is_accepting(s); });
-      [[maybe_unused]] const State d = dfa.add_state(acc);
-      assert(d == it->second);
-      sets.push_back(set);
+  // Subset states live interned in one contiguous word array; DFA state ids
+  // are the dense intern ids (first-seen order, so the numbering matches the
+  // classical worklist construction). The two scratch buffers are the only
+  // per-step allocations.
+  BitsetInterner interner(n);
+  const DynBitset acc_set = nfa.accepting_set();
+  const std::size_t words_per = interner.words_per();
+  std::vector<std::uint64_t> cur(words_per, 0);
+  std::vector<std::uint64_t> nxt(words_per, 0);
+
+  auto accepts_words = [&](const std::uint64_t* w) {
+    for (std::size_t i = 0; i < words_per; ++i) {
+      if ((w[i] & acc_set.words_data()[i]) != 0) return true;
     }
-    return it->second;
+    return false;
   };
 
-  const State start = intern(init);
+  auto intern = [&](const std::uint64_t* w) -> State {
+    const auto [id, fresh] = interner.intern(w);
+    if (fresh) {
+      budget_charge(budget);
+      [[maybe_unused]] const State d = dfa.add_state(accepts_words(w));
+      assert(d == id);
+    }
+    return id;
+  };
+
+  std::copy(init.words_data(), init.words_data() + words_per, nxt.begin());
+  const State start = intern(nxt.data());
   dfa.set_initial(start);
 
-  for (State d = 0; d < sets.size(); ++d) {
-    // `sets` grows while we iterate; index-based loop is intentional.
-    const DynBitset current = sets[d];
+  for (State d = 0; d < interner.size(); ++d) {
+    // The interner grows while we iterate (and its word pointers move), so
+    // the current subset is staged into `cur` first.
+    std::copy(interner.words(d), interner.words(d) + words_per, cur.begin());
     for (Symbol a = 0; a < sigma; ++a) {
-      DynBitset next = nfa.step(current, a);
-      if (next.none()) continue;
-      dfa.set_transition(d, a, intern(next));
+      nfa.step_words(cur.data(), a, nxt.data());
+      bool empty = true;
+      for (std::size_t i = 0; i < words_per && empty; ++i) {
+        empty = nxt[i] == 0;
+      }
+      if (empty) continue;
+      dfa.set_transition(d, a, intern(nxt.data()));
     }
   }
   return dfa;
@@ -383,12 +403,8 @@ Nfa prefix_language(const Nfa& nfa) {
 }
 
 bool is_empty(const Nfa& nfa) {
-  bool found = false;
-  const DynBitset reach = nfa.reachable();
-  reach.for_each([&](std::size_t s) {
-    found = found || nfa.is_accepting(static_cast<State>(s));
-  });
-  return !found;
+  return !nfa.reachable().any_of(
+      [&](std::size_t s) { return nfa.is_accepting(static_cast<State>(s)); });
 }
 
 namespace {
@@ -483,9 +499,8 @@ std::vector<Word> enumerate_words(const Nfa& nfa, std::size_t max_len,
   while (!queue.empty()) {
     Item item = std::move(queue.front());
     queue.pop();
-    bool acc = false;
-    item.states.for_each(
-        [&](std::size_t s) { acc = acc || nfa.is_accepting(s); });
+    const bool acc =
+        item.states.any_of([&](std::size_t s) { return nfa.is_accepting(s); });
     if (acc) {
       result.push_back(item.word);
       if (result.size() > limit) {

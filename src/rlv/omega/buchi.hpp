@@ -11,6 +11,7 @@
 // states are all accepting — their ω-language is then lim(L) of their
 // prefix-closed finite-word language L (see rlv/omega/limit.hpp).
 
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -51,8 +52,11 @@ class Buchi {
   [[nodiscard]] bool is_accepting(State s) const {
     return aut_.is_accepting(s);
   }
-  [[nodiscard]] const std::vector<Transition>& out(State s) const {
+  [[nodiscard]] std::span<const Transition> out(State s) const {
     return aut_.out(s);
+  }
+  [[nodiscard]] std::span<const Transition> block(State s, Symbol a) const {
+    return aut_.block(s, a);
   }
 
   /// The underlying finite-word structure. Reading it as an NFA yields the

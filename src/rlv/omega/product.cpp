@@ -73,6 +73,7 @@ OnTheFlyProduct::OnTheFlyProduct(std::vector<const Buchi*> operands,
   for (const Buchi* op : operands_) {
     require_same_alphabet(operands_.front()->alphabet(), op->alphabet(),
                           "OnTheFlyProduct");
+    op->structure().finalize();  // CSR index before per-symbol block joins
   }
 
   const std::size_t k = operands_.size();
@@ -94,7 +95,7 @@ OnTheFlyProduct::OnTheFlyProduct(std::vector<const Buchi*> operands,
     if (!valid) break;  // some operand has no initial state: empty product
     std::size_t level = 0;
     while (level < k && operands_[level]->is_accepting(tuple[level])) ++level;
-    const State id = intern(tuple, level);
+    const State id = intern(tuple.data(), level);
     if (std::find(initial_.begin(), initial_.end(), id) == initial_.end()) {
       initial_.push_back(id);
     }
@@ -108,62 +109,101 @@ OnTheFlyProduct::OnTheFlyProduct(std::vector<const Buchi*> operands,
   }
 }
 
-State OnTheFlyProduct::intern(std::vector<State> parts, std::size_t level) {
+State OnTheFlyProduct::intern(const State* parts, std::size_t level) {
+  const std::size_t k = operands_.size();
   std::size_t h = level;
-  for (const State s : parts) h = hash_combine(h, s);
-  std::vector<State>& bucket = buckets_[h];
-  for (const State id : bucket) {
-    if (levels_[id] == level && tuples_[id] == parts) return id;
-  }
+  for (std::size_t i = 0; i < k; ++i) h = hash_combine(h, parts[i]);
+
+  auto eq = [&](State id) {
+    if (levels_[id] != level) return false;
+    const State* stored = tuple_data_.data() + static_cast<std::size_t>(id) * k;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (stored[i] != parts[i]) return false;
+    }
+    return true;
+  };
+  const State found = table_.find(h, eq);
+  if (found != IdTable::kNoId) return found;
+
   budget_charge(budget_);
-  const State id = static_cast<State>(tuples_.size());
-  tuples_.push_back(std::move(parts));
-  levels_.push_back(level);
-  out_.emplace_back();
+  const State id = static_cast<State>(levels_.size());
+  tuple_data_.insert(tuple_data_.end(), parts, parts + k);
+  levels_.push_back(static_cast<std::uint32_t>(level));
+  out_ptr_.push_back(nullptr);
+  out_len_.push_back(0);
   expanded_.push_back(false);
-  bucket.push_back(id);
+  table_.insert(h, id, [&](State x) {
+    const State* stored = tuple_data_.data() + static_cast<std::size_t>(x) * k;
+    std::size_t hx = levels_[x];
+    for (std::size_t i = 0; i < k; ++i) hx = hash_combine(hx, stored[i]);
+    return hx;
+  });
+  budget_note_memory(budget_,
+                     arena_.bytes_reserved() + table_.bytes() +
+                         tuple_data_.capacity() * sizeof(State));
   return id;
 }
 
 void OnTheFlyProduct::expand(State s) {
   const std::size_t k = operands_.size();
-  const std::vector<State> tuple = tuples_[s];  // copy: intern() reallocates
+  // Copy: intern() appends to tuple_data_ while we read the tuple.
+  std::vector<State> tuple(
+      tuple_data_.begin() + static_cast<std::size_t>(s) * k,
+      tuple_data_.begin() + static_cast<std::size_t>(s) * k + k);
   const std::size_t base = (levels_[s] == k) ? 0 : levels_[s];
 
-  // Join the operands' transitions symbol by symbol: start from operand 0's
-  // edges and extend one operand at a time, keeping only matching symbols.
-  std::vector<std::vector<State>> partial;
-  for (const auto& t0 : operands_[0]->out(tuple[0])) {
-    partial.assign(1, {t0.target});
-    std::vector<std::vector<State>> next;
-    for (std::size_t i = 1; i < k && !partial.empty(); ++i) {
-      next.clear();
-      for (const auto& ti : operands_[i]->out(tuple[i])) {
-        if (ti.symbol != t0.symbol) continue;
-        for (const std::vector<State>& p : partial) {
-          std::vector<State> ext = p;
-          ext.push_back(ti.target);
-          next.push_back(std::move(ext));
-        }
+  // Operand edges arrive grouped by symbol (CSR), so the join is an odometer
+  // over the per-operand (state, symbol) successor blocks — no per-edge
+  // symbol filtering and no intermediate tuple vectors.
+  std::vector<Transition> edges;
+  std::vector<std::span<const Transition>> blocks(k);
+  std::vector<std::size_t> idx(k);
+  std::vector<State> targets(k);
+  const std::span<const Transition> e0 = operands_[0]->out(tuple[0]);
+  for (std::size_t i0 = 0; i0 < e0.size();) {
+    const Symbol sym = e0[i0].symbol;
+    std::size_t end0 = i0;
+    while (end0 < e0.size() && e0[end0].symbol == sym) ++end0;
+    blocks[0] = e0.subspan(i0, end0 - i0);
+    i0 = end0;
+
+    bool joinable = true;
+    for (std::size_t i = 1; i < k; ++i) {
+      blocks[i] = operands_[i]->block(tuple[i], sym);
+      if (blocks[i].empty()) {
+        joinable = false;
+        break;
       }
-      partial.swap(next);
     }
-    for (std::vector<State>& targets : partial) {
+    if (!joinable) continue;
+
+    std::fill(idx.begin(), idx.end(), 0);
+    for (;;) {
+      for (std::size_t i = 0; i < k; ++i) targets[i] = blocks[i][idx[i]].target;
       std::size_t next_level = base;
       while (next_level < k &&
              operands_[next_level]->is_accepting(targets[next_level])) {
         ++next_level;
       }
-      const State to = intern(std::move(targets), next_level);
-      out_[s].push_back(Transition{t0.symbol, to});
+      edges.push_back(Transition{sym, intern(targets.data(), next_level)});
+      std::size_t i = 0;
+      while (i < k && ++idx[i] == blocks[i].size()) {
+        idx[i] = 0;
+        ++i;
+      }
+      if (i == k) break;
     }
   }
+
+  out_len_[s] = static_cast<std::uint32_t>(edges.size());
+  out_ptr_[s] =
+      edges.empty() ? nullptr : arena_.copy_array(edges.data(), edges.size());
   expanded_[s] = true;
 }
 
-const std::vector<Transition>& OnTheFlyProduct::out(State s) {
+std::span<const Transition> OnTheFlyProduct::out(State s) {
   if (!expanded_[s]) expand(s);
-  return out_[s];
+  return {out_ptr_[s], out_len_[s]};
 }
 
 Buchi union_buchi(const Buchi& a, const Buchi& b) {

@@ -18,12 +18,13 @@
 // Both operands must share one alphabet object; std::invalid_argument
 // otherwise (the guard survives NDEBUG builds).
 
-#include <deque>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "rlv/omega/buchi.hpp"
+#include "rlv/util/arena.hpp"
 #include "rlv/util/budget.hpp"
+#include "rlv/util/intern.hpp"
 
 namespace rlv {
 
@@ -46,9 +47,13 @@ namespace rlv {
 /// the materialized intersect_buchi chain. States are interned to dense ids
 /// on first touch and charged to the Budget under the *caller's current
 /// stage* (the emptiness search runs it under Stage::kEmptiness — the lazy
-/// path has no separate product stage by construction). Successor lists are
-/// expanded once and cached; references returned by out() stay valid across
-/// later expansions.
+/// path has no separate product stage by construction).
+///
+/// Memory layout: tuples live k-States-apiece in one flat array keyed by a
+/// flat open-addressing id table (util/intern.hpp); cached successor lists
+/// are immutable blocks in a bump arena, so out() hands back a span whose
+/// storage never moves across later expansions, and the whole product frees
+/// wholesale on destruction.
 class OnTheFlyProduct {
  public:
   /// `operands` must be non-empty, outlive the product, and share one
@@ -62,29 +67,30 @@ class OnTheFlyProduct {
     return levels_[s] == operands_.size();
   }
 
-  /// Successors of `s`, expanded on first call and cached.
-  [[nodiscard]] const std::vector<Transition>& out(State s);
+  /// Successors of `s`, expanded on first call and cached. The span stays
+  /// valid across later expansions (arena blocks never move).
+  [[nodiscard]] std::span<const Transition> out(State s);
 
   /// Number of product states interned so far (monotone; exploration cost).
-  [[nodiscard]] std::size_t num_interned() const { return tuples_.size(); }
+  [[nodiscard]] std::size_t num_interned() const { return levels_.size(); }
 
  private:
-  State intern(std::vector<State> parts, std::size_t level);
+  State intern(const State* parts, std::size_t level);
   void expand(State s);
 
   std::vector<const Buchi*> operands_;
   Budget* budget_;
 
-  // id ↔ (tuple, level); out_/expanded_ grow in lockstep with tuples_.
-  // out_ is a deque so the reference returned by out() survives later
-  // expansions (deque growth never moves existing elements).
-  std::vector<std::vector<State>> tuples_;
-  std::vector<std::size_t> levels_;
-  std::deque<std::vector<Transition>> out_;
+  // id ↔ (tuple, level): tuple i occupies tuple_data_[i*k .. i*k+k);
+  // out_ptr_/out_len_/expanded_ grow in lockstep with levels_.
+  std::vector<State> tuple_data_;
+  std::vector<std::uint32_t> levels_;
+  std::vector<const Transition*> out_ptr_;
+  std::vector<std::uint32_t> out_len_;
   std::vector<bool> expanded_;
   std::vector<State> initial_;
-  // Interning index: tuple-hash → interned ids with that hash.
-  std::unordered_map<std::size_t, std::vector<State>> buckets_;
+  IdTable table_;
+  Arena arena_;  // cached successor blocks
 };
 
 }  // namespace rlv

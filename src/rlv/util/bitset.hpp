@@ -118,6 +118,36 @@ class DynBitset {
     }
   }
 
+  /// True when `fn(index)` holds for some set bit; stops at the first hit
+  /// (unlike for_each, which always visits every bit).
+  template <typename Fn>
+  [[nodiscard]] bool any_of(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        if (fn(wi * 64 + static_cast<std::size_t>(bit))) return true;
+        w &= w - 1;
+      }
+    }
+    return false;
+  }
+
+  /// Raw word access for kernels that intern or step sets out-of-place
+  /// (see util/intern.hpp). Bits past size() are zero by construction.
+  [[nodiscard]] const std::uint64_t* words_data() const {
+    return words_.data();
+  }
+  [[nodiscard]] std::size_t num_words() const { return words_.size(); }
+
+  /// Rebuilds a bitset from a raw word block (num-words words for `bits`
+  /// bits); padding bits in the last word must be zero.
+  static DynBitset from_words(std::size_t bits, const std::uint64_t* w) {
+    DynBitset b(bits);
+    for (std::size_t i = 0; i < b.words_.size(); ++i) b.words_[i] = w[i];
+    return b;
+  }
+
   /// Index of the lowest set bit, or `size()` when empty.
   [[nodiscard]] std::size_t first() const {
     for (std::size_t wi = 0; wi < words_.size(); ++wi) {

@@ -78,6 +78,7 @@ struct StageMetrics {
   std::uint64_t calls = 0;                    // StageScope entries
   std::atomic<std::uint64_t> states_built{0}; // states/configs constructed
   std::atomic<std::uint64_t> peak_antichain{0}; // peak antichain/frontier
+  std::atomic<std::uint64_t> peak_memory_bytes{0};  // arena + intern storage
   std::uint64_t nanos = 0;                    // exclusive wall time
 
   StageMetrics() = default;
@@ -88,6 +89,9 @@ struct StageMetrics {
                        std::memory_order_relaxed);
     peak_antichain.store(o.peak_antichain.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+    peak_memory_bytes.store(
+        o.peak_memory_bytes.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     nanos = o.nanos;
     return *this;
   }
@@ -100,6 +104,11 @@ struct StageMetrics {
         o.peak_antichain.load(std::memory_order_relaxed);
     if (other_peak > peak_antichain.load(std::memory_order_relaxed)) {
       peak_antichain.store(other_peak, std::memory_order_relaxed);
+    }
+    const std::uint64_t other_mem =
+        o.peak_memory_bytes.load(std::memory_order_relaxed);
+    if (other_mem > peak_memory_bytes.load(std::memory_order_relaxed)) {
+      peak_memory_bytes.store(other_mem, std::memory_order_relaxed);
     }
     nanos += o.nanos;
     return *this;
@@ -182,12 +191,14 @@ class Budget {
   /// Updates the peak antichain/frontier size of the current stage
   /// (monotone max, lock-free).
   void note_frontier(std::uint64_t size) {
-    std::atomic<std::uint64_t>& peak = profile_[stage_].peak_antichain;
-    std::uint64_t seen = peak.load(std::memory_order_relaxed);
-    while (size > seen &&
-           !peak.compare_exchange_weak(seen, size,
-                                       std::memory_order_relaxed)) {
-    }
+    note_peak(profile_[stage_].peak_antichain, size);
+  }
+
+  /// Updates the peak kernel-memory footprint (arena + intern storage
+  /// bytes) of the current stage (monotone max, lock-free). Observability
+  /// only — the enforced limits stay the state cap and the deadline.
+  void note_memory(std::uint64_t bytes) {
+    note_peak(profile_[stage_].peak_memory_bytes, bytes);
   }
 
   [[nodiscard]] Stage stage() const { return stage_; }
@@ -198,6 +209,15 @@ class Budget {
 
  private:
   friend class StageScope;
+
+  static void note_peak(std::atomic<std::uint64_t>& peak,
+                        std::uint64_t value) {
+    std::uint64_t seen = peak.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !peak.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
 
   void maybe_check_deadline() {
     if (!has_deadline_) return;
@@ -279,6 +299,9 @@ inline void budget_tick(Budget* budget) {
 }
 inline void budget_note_frontier(Budget* budget, std::uint64_t size) {
   if (budget) budget->note_frontier(size);
+}
+inline void budget_note_memory(Budget* budget, std::uint64_t bytes) {
+  if (budget) budget->note_memory(bytes);
 }
 
 }  // namespace rlv
