@@ -1,6 +1,7 @@
 #include "rlv/engine/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -158,18 +159,74 @@ struct VerdictKeyHash {
   }
 };
 
+/// cache_shards = 0 resolves to the job count: a single-job engine keeps
+/// one shard (exact whole-cache LRU, as the eviction unit tests require),
+/// while an N-worker server gets ~N shard mutexes per cache. MemoCache
+/// rounds up to a power of two itself.
+std::size_t resolve_cache_shards(const EngineOptions& opts) {
+  const std::size_t want = opts.cache_shards > 0 ? opts.cache_shards
+                           : opts.jobs > 0       ? opts.jobs
+                                                 : 1;
+  return want;
+}
+
+/// Cumulative per-stage totals as relaxed atomics: workers merge each
+/// query's profile with plain fetch_adds (CAS-max for the peaks), and a
+/// `stats` snapshot reads them without taking any lock — so observability
+/// polling never stalls a worker mid-query the way the old profile mutex
+/// could.
+struct AtomicStageTotals {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> states_built{0};
+  std::atomic<std::uint64_t> peak_antichain{0};
+  std::atomic<std::uint64_t> peak_memory_bytes{0};
+  std::atomic<std::uint64_t> nanos{0};
+
+  static void note_peak(std::atomic<std::uint64_t>& peak,
+                        std::uint64_t value) {
+    std::uint64_t seen = peak.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !peak.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  void merge(const StageMetrics& m) {
+    calls.fetch_add(m.calls, std::memory_order_relaxed);
+    states_built.fetch_add(m.states_built.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    note_peak(peak_antichain,
+              m.peak_antichain.load(std::memory_order_relaxed));
+    note_peak(peak_memory_bytes,
+              m.peak_memory_bytes.load(std::memory_order_relaxed));
+    nanos.fetch_add(m.nanos, std::memory_order_relaxed);
+  }
+
+  void snapshot_into(StageMetrics& out) const {
+    out.calls = calls.load(std::memory_order_relaxed);
+    out.states_built.store(states_built.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    out.peak_antichain.store(peak_antichain.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    out.peak_memory_bytes.store(
+        peak_memory_bytes.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    out.nanos = nanos.load(std::memory_order_relaxed);
+  }
+};
+
 }  // namespace
 
 struct Engine::Impl {
   explicit Impl(const EngineOptions& opts)
       : options(opts),
-        systems(opts.cache_capacity),
-        behaviors(opts.cache_capacity),
-        prefixes(opts.cache_capacity),
-        translations(opts.cache_capacity),
-        properties(opts.cache_capacity),
-        verdicts(opts.cache_capacity * 8),
-        monitors(opts.cache_capacity),
+        systems(opts.cache_capacity, resolve_cache_shards(opts)),
+        behaviors(opts.cache_capacity, resolve_cache_shards(opts)),
+        prefixes(opts.cache_capacity, resolve_cache_shards(opts)),
+        translations(opts.cache_capacity, resolve_cache_shards(opts)),
+        properties(opts.cache_capacity, resolve_cache_shards(opts)),
+        verdicts(opts.cache_capacity * 8, resolve_cache_shards(opts)),
+        monitors(opts.cache_capacity, resolve_cache_shards(opts)),
         sessions(opts.max_sessions),
         pool(opts.jobs <= 1 ? 0 : opts.jobs) {}
 
@@ -194,8 +251,13 @@ struct Engine::Impl {
   std::atomic<std::uint64_t> queries_run{0};
   std::atomic<std::uint64_t> certificates_checked{0};
   std::atomic<std::uint64_t> certificates_failed{0};
-  mutable std::mutex profile_mutex;
-  QueryProfile profile_totals;
+  std::array<AtomicStageTotals, kNumStages> stage_totals;
+
+  void merge_profile(const QueryProfile& profile) {
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+      stage_totals[i].merge(profile.stages[i]);
+    }
+  }
 
   std::shared_ptr<const Buchi> translation(Formula f, const Labeling& lambda,
                                            bool negated, Budget* budget) {
@@ -435,10 +497,7 @@ struct Engine::Impl {
       verdict.error = e.what();
     }
     verdict.profile = budget.profile();
-    {
-      std::lock_guard lock(profile_mutex);
-      profile_totals += verdict.profile;
-    }
+    merge_profile(verdict.profile);
     verdict.millis =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
@@ -658,7 +717,8 @@ EngineStats Engine::stats() const {
   stats.verdicts = impl_->verdicts.counters();
   stats.monitors = impl_->monitors.counters();
   {
-    std::lock_guard lock(impl_->session_mutex);
+    // Counter snapshot is lock-free (relaxed atomics inside SessionTable);
+    // stats polling must not contend with the monitor stepping hot path.
     const monitor::SessionCounters c = impl_->sessions.counters();
     stats.monitor.sessions_open = c.open;
     stats.monitor.sessions_peak = c.peak;
@@ -672,9 +732,8 @@ EngineStats Engine::stats() const {
       impl_->certificates_checked.load(std::memory_order_relaxed);
   stats.certificates_failed =
       impl_->certificates_failed.load(std::memory_order_relaxed);
-  {
-    std::lock_guard lock(impl_->profile_mutex);
-    stats.stages = impl_->profile_totals;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    impl_->stage_totals[i].snapshot_into(stats.stages.stages[i]);
   }
   return stats;
 }

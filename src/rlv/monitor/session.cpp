@@ -53,9 +53,12 @@ std::uint64_t SessionTable::open(
   slot.last_touch_ms = now_ms;
   slot.in_use = true;
   lru_push_back(index);
-  ++counters_.open;
-  ++counters_.opened;
-  if (counters_.open > counters_.peak) counters_.peak = counters_.open;
+  const std::uint64_t open =
+      counters_.open.fetch_add(1, std::memory_order_relaxed) + 1;
+  counters_.opened.fetch_add(1, std::memory_order_relaxed);
+  if (open > counters_.peak.load(std::memory_order_relaxed)) {
+    counters_.peak.store(open, std::memory_order_relaxed);
+  }
   return encode_id(index, slot.generation);
 }
 
@@ -87,7 +90,7 @@ void SessionTable::release(std::uint32_t index) {
   slot.in_use = false;
   ++slot.generation;  // stale ids to this slot now miss; wraparound is fine
   free_.push_back(index);
-  --counters_.open;
+  counters_.open.fetch_sub(1, std::memory_order_relaxed);
 }
 
 bool SessionTable::close(std::uint64_t id) {
@@ -105,7 +108,7 @@ std::size_t SessionTable::sweep_idle(std::uint64_t now_ms,
     if (now_ms - slot.last_touch_ms < max_idle_ms) break;  // rest is fresher
     release(lru_head_);
     ++reclaimed;
-    ++counters_.idle_reclaimed;
+    counters_.idle_reclaimed.fetch_add(1, std::memory_order_relaxed);
   }
   return reclaimed;
 }

@@ -12,8 +12,13 @@
 //
 // The table is deliberately single-threaded (no locks): the engine wraps
 // it in its own mutex, and contention is negligible next to the network
-// round-trip that precedes every touch.
+// round-trip that precedes every touch. The one exception is the counter
+// block: it is kept in relaxed atomics so a stats snapshot can read it
+// WITHOUT the engine's session mutex — observability polling must never
+// queue behind the monitor stepping hot path. All writers still hold the
+// engine mutex; only the reads are unsynchronized.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -28,7 +33,8 @@ struct Session {
   std::uint64_t events = 0;
 };
 
-/// Monotonic counters, snapshot via SessionTable::counters().
+/// Counter snapshot returned by SessionTable::counters(). All fields but
+/// `open` are monotonic.
 struct SessionCounters {
   std::uint64_t open = 0;            // currently open
   std::uint64_t peak = 0;            // high-water mark of `open`
@@ -61,9 +67,21 @@ class SessionTable {
   std::size_t sweep_idle(std::uint64_t now_ms, std::uint64_t max_idle_ms);
 
   [[nodiscard]] std::size_t size() const {
-    return static_cast<std::size_t>(counters_.open);
+    return static_cast<std::size_t>(
+        counters_.open.load(std::memory_order_relaxed));
   }
-  [[nodiscard]] const SessionCounters& counters() const { return counters_; }
+  /// Lock-free snapshot — safe to call concurrently with mutations (the
+  /// fields are read individually, so a snapshot taken mid-open may show
+  /// e.g. `open` bumped before `opened`; fine for observability).
+  [[nodiscard]] SessionCounters counters() const {
+    SessionCounters snap;
+    snap.open = counters_.open.load(std::memory_order_relaxed);
+    snap.peak = counters_.peak.load(std::memory_order_relaxed);
+    snap.opened = counters_.opened.load(std::memory_order_relaxed);
+    snap.idle_reclaimed =
+        counters_.idle_reclaimed.load(std::memory_order_relaxed);
+    return snap;
+  }
 
  private:
   static constexpr std::uint32_t kNil = 0xffffffffU;
@@ -82,12 +100,22 @@ class SessionTable {
   [[nodiscard]] Slot* slot_of(std::uint64_t id);
   void release(std::uint32_t index);
 
+  /// Relaxed atomics so counters() reads without the caller's lock; every
+  /// mutation happens under the engine's session mutex, so writers never
+  /// race each other and plain load-modify-store peak tracking is exact.
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> open{0};
+    std::atomic<std::uint64_t> peak{0};
+    std::atomic<std::uint64_t> opened{0};
+    std::atomic<std::uint64_t> idle_reclaimed{0};
+  };
+
   std::size_t max_sessions_ = 0;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;
   std::uint32_t lru_head_ = kNil;  // least recently touched
   std::uint32_t lru_tail_ = kNil;  // most recently touched
-  SessionCounters counters_;
+  AtomicCounters counters_;
 };
 
 }  // namespace rlv::monitor

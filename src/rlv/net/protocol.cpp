@@ -161,6 +161,32 @@ void apply_limits(Query& query, const ServerLimits& limits) {
   query.threads = std::min(query.threads, limits.max_threads);
 }
 
+std::string render_server_counters(const ServerCounters& c, bool draining) {
+  std::string out = "{";
+  const auto field = [&out](std::string_view name, std::uint64_t value) {
+    if (out.size() > 1) out += ",";
+    out += "\"";
+    out += name;
+    out += "\":" + std::to_string(value);
+  };
+  field("connections_accepted", c.connections_accepted);
+  field("connections_open", c.connections_open);
+  field("requests", c.requests);
+  field("queries", c.queries);
+  field("overload_rejects", c.overload_rejects);
+  field("protocol_errors", c.protocol_errors);
+  field("idle_closed", c.idle_closed);
+  field("bytes_read", c.bytes_read);
+  field("bytes_written", c.bytes_written);
+  field("inflight", c.inflight);
+  field("accept_soft_errors", c.accept_soft_errors);
+  field("reactors", c.reactors);
+  out += ",\"draining\":";
+  out += draining ? "true" : "false";
+  out += "}";
+  return out;
+}
+
 std::string render_error(std::optional<std::uint64_t> id,
                          std::string_view code, std::string_view detail) {
   std::string out = "{";

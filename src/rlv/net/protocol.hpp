@@ -63,6 +63,34 @@ struct ServerLimits {
   std::size_t max_steps_per_request = 8192;
 };
 
+/// Monotonic serving-layer counters, snapshot via Server::counters() (any
+/// thread) and serialized into the "server" object of a stats response.
+/// Shared across every reactor of a multi-reactor server — the fields are
+/// aggregates, not per-loop numbers.
+struct ServerCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_open = 0;
+  std::uint64_t requests = 0;  // parsed protocol lines, any op
+  std::uint64_t queries = 0;   // submitted to the engine
+  std::uint64_t overload_rejects = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t idle_closed = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t inflight = 0;  // currently submitted, response not yet queued
+  /// accept(2) failures from resource pressure (EMFILE/ENFILE/ENOMEM/
+  /// ENOBUFS). Each one pauses that reactor's listener instead of killing
+  /// the loop; a rising value under load means the fd limit is the
+  /// bottleneck (see docs/usage.md §12).
+  std::uint64_t accept_soft_errors = 0;
+  std::uint64_t reactors = 1;  // event loops serving this process
+};
+
+/// The "server" JSON object of a stats response (including the trailing
+/// "draining" flag). Pure serialization — testable without sockets.
+[[nodiscard]] std::string render_server_counters(const ServerCounters& c,
+                                                 bool draining);
+
 enum class RequestOp : std::uint8_t {
   kQuery,
   kStats,

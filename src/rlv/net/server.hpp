@@ -5,14 +5,22 @@
 // newline-delimited JSON protocol of protocol.hpp to any number of
 // concurrent TCP clients.
 //
-// Threading model: ONE event-loop thread (the caller of run()) owns every
-// socket, buffer, and connection object and never executes a query; query
-// work happens on the Engine's worker pool via Engine::submit. Completed
-// verdicts are rendered on the worker thread (rendering re-parses the
-// system text — keep that off the loop) and handed back through a
-// mutex-protected completion queue plus a self-pipe wakeup. Because the
-// engine runs queries inline when built with jobs <= 1, a Server requires
-// an Engine with jobs >= 2.
+// Threading model: N reactor threads (options.reactors; run() spawns
+// N-1 and becomes reactor 0), each a self-contained poll(2) event loop
+// owning its own listener fd, pollfd table, connection map, wake pipe,
+// completion sink, and monitor-session-ownership sets — no connection
+// state is ever shared across reactors, so the loops need no locks
+// between them. Incoming connections are spread by the kernel via
+// SO_REUSEPORT (every reactor listens on the same address); when that
+// is unavailable (or force_acceptor_handoff is set), reactor 0 keeps
+// the only listener and hands accepted fds round-robin to the other
+// reactors through their completion sinks. Reactors never execute a
+// query: query work happens on the Engine's worker pool via
+// Engine::submit, results are rendered on the worker thread (rendering
+// re-parses the system text — keep that off the loops) and handed back
+// through the owning reactor's mutex-protected completion queue plus a
+// self-pipe wakeup. Because the engine runs queries inline when built
+// with jobs <= 1, a Server requires an Engine with jobs >= 2.
 //
 // Backpressure: in-flight queries are bounded per connection and globally;
 // a request over either bound is answered immediately with the structured
@@ -22,11 +30,19 @@
 // drains it (TCP backpressure).
 //
 // Shutdown: request_stop() is async-signal-safe (an atomic store plus a
-// write to the self-pipe) so a SIGINT/SIGTERM handler can call it
-// directly. The loop then stops accepting and reading, lets in-flight
-// queries finish under their Budget deadlines (apply_limits gives every
-// served query one), flushes buffered responses, and returns; a drain
-// deadline bounds the wait against budget-less stragglers.
+// write to every reactor's self-pipe) so a SIGINT/SIGTERM handler can
+// call it directly. Each reactor then stops accepting and reading, lets
+// its in-flight queries finish under their Budget deadlines
+// (apply_limits gives every served query one), flushes buffered
+// responses, reclaims its connections' monitor sessions, and returns;
+// a drain deadline bounds the wait against budget-less stragglers.
+// run() returns once every reactor has drained.
+//
+// fd exhaustion: accept(2) failing with EMFILE/ENFILE/ENOMEM/ENOBUFS is
+// an overload signal, not a crash — the reactor logs once, bumps
+// accept_soft_errors, and stops polling its listener until one of its
+// connections closes (or a short retry backoff elapses). Established
+// connections keep being served the whole time.
 
 #include <cstdint>
 #include <memory>
@@ -56,22 +72,16 @@ struct ServerOptions {
   /// (idle-session GC, independent of connection idle close); 0 = never.
   /// A later step on a reclaimed session reports "unknown_session".
   std::uint64_t session_idle_timeout_ms = 0;
+  /// Event-loop reactors. 1 keeps the classic single-loop server; N > 1
+  /// runs N independent loops (run() spawns N-1 threads), sharing only the
+  /// engine, the global in-flight gauge, and the stats counters.
+  std::size_t reactors = 1;
+  /// Forces the single-acceptor round-robin fd-handoff path even where
+  /// SO_REUSEPORT is available. Deterministic connection placement —
+  /// client k lands on reactor k mod N — which the multi-reactor tests
+  /// rely on; also the automatic fallback when a reuseport bind fails.
+  bool force_acceptor_handoff = false;
   ServerLimits limits;  // caps/defaults for per-request overrides
-};
-
-/// Monotonic counters, snapshot via Server::counters() (any thread) and
-/// serialized into the "server" object of a stats response.
-struct ServerCounters {
-  std::uint64_t connections_accepted = 0;
-  std::uint64_t connections_open = 0;
-  std::uint64_t requests = 0;  // parsed protocol lines, any op
-  std::uint64_t queries = 0;   // submitted to the engine
-  std::uint64_t overload_rejects = 0;
-  std::uint64_t protocol_errors = 0;
-  std::uint64_t idle_closed = 0;
-  std::uint64_t bytes_read = 0;
-  std::uint64_t bytes_written = 0;
-  std::uint64_t inflight = 0;  // currently submitted, response not yet queued
 };
 
 /// RAII listening socket (IPv4, non-blocking). Split out of Server so tests
@@ -85,14 +95,18 @@ class Listener {
   Listener& operator=(const Listener&) = delete;
 
   /// Binds address:port (dotted IPv4; port 0 picks an ephemeral port) with
-  /// SO_REUSEADDR and starts listening. Returns the bound port. Throws
+  /// SO_REUSEADDR (plus SO_REUSEPORT when `reuse_port` — the multi-reactor
+  /// mode, where every reactor binds the same port and the kernel spreads
+  /// connections) and starts listening. Returns the bound port. Throws
   /// std::runtime_error on failure.
   std::uint16_t listen(const std::string& address, std::uint16_t port,
-                       int backlog);
+                       int backlog, bool reuse_port = false);
 
   /// Accepts one pending client as a non-blocking fd; -1 when none pending.
-  /// Throws on unexpected accept failures.
-  [[nodiscard]] int accept_client();
+  /// fd exhaustion (EMFILE/ENFILE/ENOMEM/ENOBUFS) is reported by setting
+  /// *soft_error instead of throwing — the caller backs off and retries;
+  /// only genuinely unexpected failures throw.
+  [[nodiscard]] int accept_client(bool* soft_error = nullptr);
 
   void close();
   [[nodiscard]] int fd() const { return fd_; }

@@ -8,10 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <memory>
 #include <string>
 #include <thread>
@@ -562,6 +568,307 @@ TEST(NetServer, GracefulDrainAnswersInFlightThenCloses) {
   EXPECT_THROW((void)client.read_line(), std::runtime_error);
   net::Client late;
   EXPECT_THROW(late.connect("127.0.0.1", ts.port()), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-reactor serving.
+
+TEST(NetServerMultiReactor, ReuseportReactorsServeQueries) {
+  // The default multi-reactor mode: every reactor binds the same port with
+  // SO_REUSEPORT and the kernel spreads connections. Placement is not
+  // deterministic, so this test only checks serving correctness and the
+  // aggregated counters.
+  net::ServerOptions options;
+  options.reactors = 2;
+  TestServer ts(options);
+  EXPECT_EQ(ts.server().counters().reactors, 2u);
+
+  Query query{serialize_system(figure2_system()), "G F result",
+              CheckKind::kRelativeLiveness};
+  for (int c = 0; c < 4; ++c) {
+    net::Client client = ts.connect_client();
+    const net::Response response = net::parse_response(
+        client.call(net::render_query_request(query, 100 + c)));
+    EXPECT_TRUE(response.ok) << response.raw;
+    EXPECT_TRUE(response.has_holds);
+  }
+  const net::ServerCounters counters = ts.server().counters();
+  EXPECT_EQ(counters.connections_accepted, 4u);
+  EXPECT_EQ(counters.queries, 4u);
+  EXPECT_EQ(counters.accept_soft_errors, 0u);
+}
+
+TEST(NetServerMultiReactor, EightClientsOnFourReactorsMatchDirectEngine) {
+  net::ServerOptions options;
+  options.reactors = 4;
+  // Deterministic placement (client k lands on reactor k mod 4) and covers
+  // the fd-handoff fallback that non-reuseport platforms always take.
+  options.force_acceptor_handoff = true;
+  TestServer ts(options);
+  EXPECT_EQ(ts.server().counters().reactors, 4u);
+
+  std::vector<Query> queries;
+  const std::string fig2 = serialize_system(figure2_system());
+  const std::string fig3 = serialize_system(figure3_system());
+  for (const std::string& system : {fig2, fig3}) {
+    for (const CheckKind kind :
+         {CheckKind::kRelativeLiveness, CheckKind::kRelativeSafety,
+          CheckKind::kSatisfaction}) {
+      queries.push_back({system, "G F result", kind});
+      queries.push_back({system, "G(request -> F(result || reject))", kind});
+    }
+  }
+  Engine reference;
+  const std::vector<Verdict> expected = reference.run(queries);
+
+  constexpr std::size_t kClients = 8;  // two connections per reactor
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        net::Client client;
+        client.connect("127.0.0.1", ts.port());
+        for (std::size_t i = 0; i < queries.size(); ++i) {
+          const std::size_t k = (i + c * 3) % queries.size();
+          const std::uint64_t id = c * 1000 + k;
+          const net::Response response = net::parse_response(
+              client.call(net::render_query_request(queries[k], id)));
+          if (!response.ok || !response.has_holds || response.id != id ||
+              response.holds != expected[k].holds) {
+            failures[c] = "query " + std::to_string(k) + " diverged: " +
+                          response.raw;
+            return;
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  for (std::size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+
+  // The sharded verdict cache must account for every lookup exactly once
+  // even with four loops submitting concurrently: resident hit, coalesced
+  // join, or miss — never a double count, never a lost one.
+  net::Client client = ts.connect_client();
+  const JsonValue stats = parse_json(client.call(R"({"op":"stats"})"));
+  const JsonValue* verdicts =
+      stats.find("stats")->find("caches")->find("verdicts");
+  ASSERT_NE(verdicts, nullptr);
+  EXPECT_EQ(verdicts->find("hits")->as_uint() +
+                verdicts->find("coalesced")->as_uint() +
+                verdicts->find("misses")->as_uint(),
+            kClients * queries.size());
+  EXPECT_GE(verdicts->find("hits")->as_uint() +
+                verdicts->find("coalesced")->as_uint(),
+            2u * queries.size());
+  const JsonValue* server = stats.find("server");
+  EXPECT_EQ(server->find("overload_rejects")->as_uint(), 0u);
+  EXPECT_EQ(server->find("reactors")->as_uint(), 4u);
+}
+
+TEST(NetServerMultiReactor, MonitorSessionsReclaimedOnRstOnEveryReactor) {
+  net::ServerOptions options;
+  options.reactors = 4;
+  options.force_acceptor_handoff = true;  // client k -> reactor k mod 4
+  TestServer ts(options);
+
+  MonitorSpec spec;
+  spec.system = serialize_system(figure2_system());
+  spec.formula = "G F result";
+  constexpr std::size_t kClients = 4;  // one session per reactor
+  std::vector<net::Client> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    net::Client client = ts.connect_client();
+    const net::Response opened = net::parse_response(
+        client.call(net::render_monitor_open_request(spec, c + 1)));
+    ASSERT_TRUE(opened.ok) << opened.raw;
+    ASSERT_TRUE(opened.has_session);
+    clients.push_back(std::move(client));
+  }
+  EXPECT_EQ(ts.engine().stats().monitor.sessions_open, kClients);
+
+  // RST (not FIN) every connection: each reactor must notice the dead
+  // socket and reclaim the slab slot of the session its connection owned —
+  // there is no cross-reactor cleanup to fall back on.
+  for (net::Client& client : clients) {
+    struct linger hard_close{1, 0};
+    ::setsockopt(client.fd(), SOL_SOCKET, SO_LINGER, &hard_close,
+                 sizeof hard_close);
+    client.close();
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (ts.engine().stats().monitor.sessions_open > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ts.engine().stats().monitor.sessions_open, 0u);
+  EXPECT_EQ(ts.engine().stats().monitor.sessions_opened, kClients);
+}
+
+TEST(NetServerMultiReactor, GracefulDrainReclaimsSessionsOnEveryReactor) {
+  net::ServerOptions options;
+  options.reactors = 2;
+  options.force_acceptor_handoff = true;
+  TestServer ts(options);
+
+  MonitorSpec spec;
+  spec.system = serialize_system(figure3_system());
+  spec.formula = "G F result";
+  std::vector<net::Client> clients;
+  for (std::size_t c = 0; c < 4; ++c) {  // two sessions per reactor
+    net::Client client = ts.connect_client();
+    const net::Response opened = net::parse_response(
+        client.call(net::render_monitor_open_request(spec, c + 1)));
+    ASSERT_TRUE(opened.ok) << opened.raw;
+    clients.push_back(std::move(client));
+  }
+  ASSERT_EQ(ts.engine().stats().monitor.sessions_open, 4u);
+
+  ts.server().request_stop();
+  // The drain closes every connection on every reactor; each close reclaims
+  // the sessions that connection owned before run() returns.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (ts.engine().stats().monitor.sessions_open > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ts.engine().stats().monitor.sessions_open, 0u);
+  for (net::Client& client : clients) {
+    EXPECT_THROW((void)client.read_line(), std::runtime_error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fd exhaustion: accept(2) returning EMFILE must degrade, not crash.
+
+/// Open fds of this process, counted via /proc/self/fd. Overcounts by at
+/// most one (the directory fd itself) — harmless for sizing a headroom.
+int count_open_fds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int entries = 0;
+  while (::readdir(dir) != nullptr) ++entries;
+  ::closedir(dir);
+  return entries - 2;  // "." and ".."
+}
+
+net::Server* g_fd_test_server = nullptr;
+void fd_test_sigterm(int) {
+  if (g_fd_test_server != nullptr) g_fd_test_server->request_stop();
+}
+
+/// Child-process body for the fd-exhaustion test: serve on an ephemeral
+/// port, then drop RLIMIT_NOFILE to current usage plus a small headroom so
+/// a handful of accepted connections exhausts the process. Communicates
+/// the bound port over `port_pipe_fd` and exits via _exit only (no gtest,
+/// no atexit handlers in the fork child).
+[[noreturn]] void run_fd_limited_server(int port_pipe_fd) {
+  try {
+    EngineOptions engine_options;
+    engine_options.jobs = 2;
+    Engine engine(engine_options);
+    net::ServerOptions options;
+    options.bind_address = "127.0.0.1";
+    options.port = 0;
+    net::Server server(engine, options);
+    const std::uint16_t port = server.start();
+    g_fd_test_server = &server;
+    std::signal(SIGTERM, fd_test_sigterm);
+
+    const int used = count_open_fds();
+    if (used < 0) ::_exit(2);
+    struct rlimit lim{};
+    if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) ::_exit(3);
+    struct rlimit low{static_cast<rlim_t>(used) + 6, lim.rlim_max};
+    if (::setrlimit(RLIMIT_NOFILE, &low) != 0) ::_exit(4);
+
+    if (::write(port_pipe_fd, &port, sizeof port) !=
+        static_cast<ssize_t>(sizeof port)) {
+      ::_exit(5);
+    }
+    ::close(port_pipe_fd);
+
+    server.run();  // until SIGTERM -> request_stop -> graceful drain
+    ::_exit(0);
+  } catch (...) {
+    ::_exit(6);
+  }
+}
+
+TEST(NetServerFdExhaustion, SurvivesEmfileAndRecovers) {
+  // The server runs in a fork child so lowering RLIMIT_NOFILE cannot
+  // starve the test runner itself. Fork happens before the child creates
+  // any engine/server threads; by this point in the suite every prior
+  // test has joined its threads, so the parent is single-threaded too.
+  int port_pipe[2];
+  ASSERT_EQ(::pipe(port_pipe), 0);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::close(port_pipe[0]);
+    run_fd_limited_server(port_pipe[1]);  // never returns
+  }
+  ::close(port_pipe[1]);
+  std::uint16_t port = 0;
+  ASSERT_EQ(::read(port_pipe[0], &port, sizeof port),
+            static_cast<ssize_t>(sizeof port));
+  ::close(port_pipe[0]);
+
+  // An established connection, opened while the child still had free fds.
+  net::Client survivor;
+  survivor.connect("127.0.0.1", port);
+  EXPECT_TRUE(parse_json(survivor.call(R"({"op":"ping","id":1})"))
+                  .find("ok")
+                  ->as_bool());
+
+  // Flood connects until the server reports accept soft errors. connect(2)
+  // succeeds from our side even when the server cannot accept (the kernel
+  // parks the connection in the listen backlog), so the counter — read
+  // over the established connection — is the observable.
+  std::vector<net::Client> flood;
+  std::uint64_t soft_errors = 0;
+  for (int i = 0; i < 64 && soft_errors == 0; ++i) {
+    net::Client c;
+    c.connect("127.0.0.1", port);
+    flood.push_back(std::move(c));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const JsonValue stats = parse_json(survivor.call(R"({"op":"stats"})"));
+    soft_errors =
+        stats.find("server")->find("accept_soft_errors")->as_uint();
+  }
+  EXPECT_GT(soft_errors, 0u);
+
+  // The established connection was served throughout (every stats call
+  // above went over it); once more for good measure.
+  EXPECT_TRUE(parse_json(survivor.call(R"({"op":"ping","id":2})"))
+                  .find("ok")
+                  ->as_bool());
+
+  // Release the flood: closing the accepted connections frees fds in the
+  // child, which unpauses the listener. The server must then accept and
+  // serve brand-new connections — full recovery, no restart.
+  flood.clear();
+  net::Client fresh;
+  fresh.connect("127.0.0.1", port);
+  struct timeval recv_timeout{10, 0};  // fail, don't hang, if broken
+  ::setsockopt(fresh.fd(), SOL_SOCKET, SO_RCVTIMEO, &recv_timeout,
+               sizeof recv_timeout);
+  const JsonValue pong = parse_json(fresh.call(R"({"op":"ping","id":3})"));
+  EXPECT_TRUE(pong.find("ok")->as_bool());
+
+  // Graceful shutdown still works after the episode.
+  ASSERT_EQ(::kill(child, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status)) << "child terminated abnormally";
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "child exit status";
 }
 
 }  // namespace

@@ -55,7 +55,8 @@ using namespace rlv;
 int usage() {
   std::fprintf(stderr,
                "usage: rlv_loadgen --port P [--host H] [--connections N]"
-               " [--requests M] [--certify] [--stats]\n"
+               " [--requests M] [--sweep-connections N1,N2,...]"
+               " [--certify] [--stats]\n"
                "       rlv_loadgen --port P --monitor [--sessions K]"
                " [--events M] [--batch B] [--stats]\n");
   return 2;
@@ -308,69 +309,14 @@ int run_monitor_mode(const std::string& host, int port, std::size_t sessions,
   return errors == 0 ? 0 : 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string host = "127.0.0.1";
-  int port = 0;
-  std::size_t connections = 4;
-  std::size_t requests = 64;
-  bool certify = false;
-  bool want_stats = false;
-  bool monitor_mode = false;
-  std::size_t sessions = 64;
-  std::size_t events = 512;
-  std::size_t batch = 32;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--port" && i + 1 < argc) {
-      port = std::atoi(argv[++i]);
-    } else if (arg == "--host" && i + 1 < argc) {
-      host = argv[++i];
-    } else if (arg == "--connections" && i + 1 < argc) {
-      connections = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (arg == "--requests" && i + 1 < argc) {
-      requests = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (arg == "--monitor") {
-      monitor_mode = true;
-    } else if (arg == "--sessions" && i + 1 < argc) {
-      sessions = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (arg == "--events" && i + 1 < argc) {
-      events = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (arg == "--batch" && i + 1 < argc) {
-      batch = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (arg == "--certify") {
-      certify = true;
-    } else if (arg == "--stats") {
-      want_stats = true;
-    } else {
-      return usage();
-    }
-  }
-  if (port <= 0 || port > 65535 || connections == 0 || requests == 0) {
-    return usage();
-  }
-  if (monitor_mode && (sessions == 0 || events == 0 || batch == 0)) {
-    return usage();
-  }
-
-  // Fail fast (exit 2) when the server is not there at all.
-  try {
-    net::Client probe;
-    probe.connect(host, static_cast<std::uint16_t>(port));
-    (void)probe.call("{\"op\":\"ping\"}");
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
-  }
-
-  if (monitor_mode) {
-    return run_monitor_mode(host, port, sessions, events, batch, want_stats);
-  }
-
-  const std::vector<WorkItem> workload = build_workload(certify);
-
+/// One closed-loop query-mode measurement: `connections` threads, each
+/// driving `requests` back-to-back requests over the mixed workload.
+/// Prints the {"loadgen":{...}} line and returns the error count — the
+/// saturation sweep calls this once per connection count against one
+/// warm server.
+std::uint64_t run_query_leg(const std::string& host, int port,
+                            std::size_t connections, std::size_t requests,
+                            const std::vector<WorkItem>& workload) {
   std::vector<ThreadResult> results(connections);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -448,6 +394,102 @@ int main(int argc, char** argv) {
       percentile(latencies, 0.50), percentile(latencies, 0.95),
       percentile(latencies, 0.99),
       latencies.empty() ? 0.0 : latencies.back());
+  return errors;
+}
+
+/// Parses "1,2,4" into connection counts; empty result = bad list.
+std::vector<std::size_t> parse_sweep(const std::string& list) {
+  std::vector<std::size_t> counts;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const int n = std::atoi(list.substr(pos, comma - pos).c_str());
+    if (n <= 0) return {};
+    counts.push_back(static_cast<std::size_t>(n));
+    pos = comma + 1;
+  }
+  return counts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::size_t connections = 4;
+  std::size_t requests = 64;
+  bool certify = false;
+  bool want_stats = false;
+  bool monitor_mode = false;
+  std::size_t sessions = 64;
+  std::size_t events = 512;
+  std::size_t batch = 32;
+  std::vector<std::size_t> sweep;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--connections" && i + 1 < argc) {
+      connections = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--requests" && i + 1 < argc) {
+      requests = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--sweep-connections" && i + 1 < argc) {
+      sweep = parse_sweep(argv[++i]);
+      if (sweep.empty()) return usage();
+    } else if (arg == "--monitor") {
+      monitor_mode = true;
+    } else if (arg == "--sessions" && i + 1 < argc) {
+      sessions = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--events" && i + 1 < argc) {
+      events = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--certify") {
+      certify = true;
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else {
+      return usage();
+    }
+  }
+  if (port <= 0 || port > 65535 || connections == 0 || requests == 0) {
+    return usage();
+  }
+  if (monitor_mode && (sessions == 0 || events == 0 || batch == 0)) {
+    return usage();
+  }
+
+  // Fail fast (exit 2) when the server is not there at all.
+  try {
+    net::Client probe;
+    probe.connect(host, static_cast<std::uint16_t>(port));
+    (void)probe.call("{\"op\":\"ping\"}");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  if (monitor_mode) {
+    return run_monitor_mode(host, port, sessions, events, batch, want_stats);
+  }
+
+  const std::vector<WorkItem> workload = build_workload(certify);
+
+  std::uint64_t errors = 0;
+  if (sweep.empty()) {
+    errors = run_query_leg(host, port, connections, requests, workload);
+  } else {
+    // Saturation sweep: one warm server, rising concurrency. The first
+    // leg pays the cache-warming misses, so lead with the smallest count
+    // (the caller orders the list) and read the later legs as warm.
+    for (const std::size_t n : sweep) {
+      errors += run_query_leg(host, port, n, requests, workload);
+    }
+  }
 
   if (want_stats) {
     try {

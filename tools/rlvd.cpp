@@ -73,6 +73,10 @@
 //   --max-conn-sessions N  per-connection monitor-session cap (4096)
 //   --max-steps-per-request N  monitor_step batch cap (8192)
 //   --session-idle-timeout-ms N  reclaim idle monitor sessions (0 = never)
+//   --reactors N           event-loop threads (default 1); each reactor
+//                          owns its own listener (SO_REUSEPORT), pollfd
+//                          table, and connections — size to the cores you
+//                          can spare beyond the worker pool
 //
 // Exit status: 0 = every line executed (whatever the verdicts) or clean
 // serve shutdown, 2 = bad invocation, unreadable batch file, or a
@@ -108,7 +112,8 @@ int usage() {
       "            [--max-inflight N] [--max-conn-inflight N]"
       " [--max-connections N] [--idle-timeout-ms N] [--drain-timeout-ms N]\n"
       "            [--max-sessions N] [--max-conn-sessions N]"
-      " [--max-steps-per-request N] [--session-idle-timeout-ms N]\n"
+      " [--max-steps-per-request N] [--session-idle-timeout-ms N]"
+      " [--reactors N]\n"
       "  batch line: <system-file> [--check rl|rs|sat|fair|fairweak]"
       " [--algorithm subset|antichain] [--threads N]"
       " [--property-aut <file>] [<formula...>]\n");
@@ -146,9 +151,11 @@ int serve(EngineOptions engine_options, net::ServerOptions server_options) {
   g_server.store(&server, std::memory_order_release);
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
-  std::fprintf(stderr, "rlvd: serving on %s:%u (jobs=%zu, timeout-ms=%llu)\n",
+  std::fprintf(stderr,
+               "rlvd: serving on %s:%u (jobs=%zu, reactors=%zu, "
+               "timeout-ms=%llu)\n",
                server_options.bind_address.c_str(), server.port(),
-               engine_options.jobs,
+               engine_options.jobs, server_options.reactors,
                static_cast<unsigned long long>(engine_options.timeout_ms));
   server.run();
   g_server.store(nullptr, std::memory_order_release);
@@ -282,6 +289,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--session-idle-timeout-ms" && i + 1 < argc) {
       server_options.session_idle_timeout_ms =
           static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--reactors" && i + 1 < argc) {
+      server_options.reactors = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (server_options.reactors == 0) return usage();
     } else if (arg == "--max-sessions" && i + 1 < argc) {
       options.max_sessions = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--max-conn-sessions" && i + 1 < argc) {
