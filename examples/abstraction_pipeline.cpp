@@ -40,7 +40,9 @@ int main(int argc, char** argv) {
   std::printf("abstract check: %s\n",
               verdict.abstract_holds ? "relative liveness holds" : "fails");
   std::printf("homomorphism simple: %s\n",
-              verdict.simplicity.simple ? "yes" : "no");
+              !verdict.simplicity_checked
+                  ? "not decided (not needed for a refutation)"
+                  : verdict.simplicity.simple ? "yes" : "no");
   std::printf("h(L) has maximal words: %s\n",
               verdict.image_has_maximal_words ? "yes" : "no");
   std::printf("transferred formula R(eta): %s\n",

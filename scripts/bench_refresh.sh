@@ -5,7 +5,11 @@
 #   * BENCH_monitor.json — the E26 streaming monitor workload;
 #   * BENCH_engine.json  — the E27 kernel medians (bench_inclusion +
 #     bench_engine, --benchmark_min_time=0.2, note: NO trailing "s" — the
-#     packaged google-benchmark rejects the suffixed form).
+#     packaged google-benchmark rejects the suffixed form);
+#   * BENCH_petri.json   — the E15/E29 Petri-unfold medians (bench_petri:
+#     scenario families, the budget-governed unfolder, and the `.pn`
+#     format round-trip), with the unfolder's per-run counters
+#     (graph_states, charged_states, peak_memory_bytes) carried through.
 # The serving files hold the loadgen summary line followed by the daemon's
 # stats record for the same run; the engine file holds per-benchmark median
 # real times and, when BASELINE_INCLUSION/BASELINE_ENGINE point at JSON
@@ -14,7 +18,7 @@
 # core count and with -O level.
 #
 # usage: [BASELINE_INCLUSION=old.json] [BASELINE_ENGINE=old.json] \
-#          scripts/bench_refresh.sh [port] [build-dir]
+#          [BASELINE_PETRI=old.json] scripts/bench_refresh.sh [port] [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -117,7 +121,42 @@ for suite, fresh, base_env in (
 print(json.dumps(doc, indent=1))
 PYEOF
 
-echo "wrote BENCH_net.json, BENCH_monitor.json, BENCH_engine.json:"
+cmake --build "$BUILD" --target bench_petri -j
+
+"$BUILD"/bench/bench_petri --benchmark_min_time=0.2 \
+  --benchmark_format=json > /tmp/rlv_bench_petri.json
+
+python3 - <<'PYEOF' > BENCH_petri.json
+import json, os
+
+doc = {"schema": "rlv-bench-petri-v1", "min_time": 0.2, "benchmarks": {}}
+base_path = os.environ.get("BASELINE_PETRI", "")
+base = {}
+if base_path and os.path.exists(base_path):
+    for b in json.load(open(base_path))["benchmarks"]:
+        if b.get("aggregate_name") in (None, "median"):
+            base[b["name"].removesuffix("_median")] = b["real_time"]
+for b in json.load(open("/tmp/rlv_bench_petri.json"))["benchmarks"]:
+    if b.get("aggregate_name") not in (None, "median"):
+        continue
+    name = b["name"].removesuffix("_median")
+    row = {"real_time": round(b["real_time"], 4),
+           "time_unit": b["time_unit"]}
+    # The unfolder's observability counters (graph_states, deadlocks,
+    # charged_states, peak_memory_bytes, bytes, transitions).
+    for key in ("graph_states", "deadlocks", "charged_states",
+                "peak_memory_bytes", "bytes", "transitions"):
+        if key in b:
+            row[key] = int(b[key])
+    if name in base and base[name] > 0 and b["real_time"] > 0:
+        row["baseline_real_time"] = round(base[name], 4)
+        row["speedup"] = round(base[name] / b["real_time"], 2)
+    doc["benchmarks"][name] = row
+print(json.dumps(doc, indent=1))
+PYEOF
+
+echo "wrote BENCH_net.json, BENCH_monitor.json, BENCH_engine.json, BENCH_petri.json:"
 head -c 400 BENCH_net.json; echo
 head -c 400 BENCH_monitor.json; echo
 head -c 400 BENCH_engine.json; echo
+head -c 400 BENCH_petri.json; echo

@@ -10,6 +10,7 @@
 #include "rlv/ltl/pnf.hpp"
 #include "rlv/ltl/transform.hpp"
 #include "rlv/omega/limit.hpp"
+#include "rlv/util/scc.hpp"
 
 namespace rlv {
 
@@ -39,6 +40,27 @@ bool has_maximal_words(const Nfa& nfa) {
       if (dfa.next(s, a) != kNoState) has_successor = true;
     }
     if (!has_successor) return true;
+  }
+  return false;
+}
+
+bool hides_divergence(const Nfa& system, const Homomorphism& h) {
+  const Nfa trimmed = trim(system);
+  // Hidden-only successor graph; any cycle in it (non-trivial SCC or
+  // hidden self-loop) witnesses an infinite all-ε continuation.
+  std::vector<std::vector<std::uint32_t>> succ(trimmed.num_states());
+  const std::size_t sigma = trimmed.alphabet()->size();
+  for (State s = 0; s < trimmed.num_states(); ++s) {
+    for (Symbol a = 0; a < sigma; ++a) {
+      if (!h.hides(a)) continue;
+      for (const State t : trimmed.successors(s, a)) {
+        succ[s].push_back(t);
+      }
+    }
+  }
+  const SccResult scc = tarjan_scc(succ);
+  for (std::uint32_t c = 0; c < scc.count; ++c) {
+    if (scc.nontrivial[c]) return true;
   }
   return false;
 }
@@ -74,6 +96,7 @@ AbstractionVerdict verify_via_abstraction(const Nfa& system,
     // Empty behavior set: every property is vacuously relative liveness.
     verdict.abstract_holds = true;
     verdict.simplicity.simple = true;
+    verdict.simplicity_checked = true;
     verdict.concrete_holds = true;
     return verdict;
   }
@@ -84,14 +107,28 @@ AbstractionVerdict verify_via_abstraction(const Nfa& system,
                         Labeling::canonical(h.target()))
           .holds;
 
-  verdict.simplicity = check_simplicity(system, h);
+  verdict.hidden_divergence = hides_divergence(system, h);
 
   if (!verdict.abstract_holds) {
     // Theorem 8.3 (contrapositive): the concrete property fails too, no
-    // simplicity needed — provided h(L) has no maximal words.
-    if (!verdict.image_has_maximal_words) verdict.concrete_holds = false;
-  } else if (verdict.simplicity.simple && !verdict.image_has_maximal_words) {
-    // Theorem 8.2: transfer the positive verdict.
+    // simplicity needed — provided h(L) has no maximal words AND the
+    // system cannot diverge on hidden letters (an all-ε tail satisfies
+    // the weak-release clauses of R̄(η), so a divergent continuation can
+    // rescue the concrete check that the abstraction refutes). Since
+    // simplicity gates nothing here, its decision procedure (a subset
+    // product over the image DFA) is skipped entirely.
+    if (!verdict.image_has_maximal_words && !verdict.hidden_divergence) {
+      verdict.concrete_holds = false;
+    }
+    return verdict;
+  }
+
+  verdict.simplicity = check_simplicity(system, h);
+  verdict.simplicity_checked = true;
+  if (verdict.simplicity.simple && !verdict.image_has_maximal_words) {
+    // Theorem 8.2: transfer the positive verdict (sound even under hidden
+    // divergence — extra concrete behaviors only enlarge lim(L) ∩ R̄(η),
+    // and pre(lim(L)) is the same prefix language either way).
     verdict.concrete_holds = true;
   }
   return verdict;

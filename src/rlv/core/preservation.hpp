@@ -36,19 +36,38 @@ namespace rlv {
 /// extend_maximal_words() (hom/image.hpp) repairs violations.
 [[nodiscard]] bool has_maximal_words(const Nfa& nfa);
 
+/// Can the system diverge under h — i.e. does trim(system) contain a cycle
+/// of hidden-only transitions, so some behavior of lim(L) carries only
+/// finitely many visible letters? Divergence is NOT excluded by "h(L) has
+/// no maximal words" (the finite-word image can stay extendable while an
+/// all-hidden infinite continuation exists), and it voids the refutation
+/// direction of the transfer: an all-ε tail satisfies the weak-release
+/// clauses of R̄(η), so R̄(η) can be relative liveness of lim(L) even when
+/// η fails on lim(h(L)). verify_via_abstraction() therefore refuses to
+/// conclude anything from an abstract failure on a divergent system.
+[[nodiscard]] bool hides_divergence(const Nfa& system, const Homomorphism& h);
+
 struct AbstractionVerdict {
   /// lim(h(L)) ⊨_RL η — the cheap abstract check.
   bool abstract_holds = false;
-  /// Simplicity of h on L (Definition 6.3).
+  /// Simplicity of h on L (Definition 6.3). Only decided — and only
+  /// meaningful — when `simplicity_checked` is set: simplicity gates
+  /// nothing but the positive Theorem 8.2 transfer, so the pipeline skips
+  /// the (potentially expensive) decision procedure when the abstract
+  /// check already failed and Theorem 8.3 decides the outcome alone.
   SimplicityResult simplicity;
+  bool simplicity_checked = false;
   /// h(L) free of maximal words (side condition of Theorem 8.2).
   bool image_has_maximal_words = false;
+  /// System can diverge on hidden letters (voids Thm 8.3 refutation).
+  bool hidden_divergence = false;
   /// The transferred formula R̄(η) interpreted under λ_hΣΣ'.
   Formula transformed;
   /// Sound conclusion about the concrete system: set only when the
   /// abstract check passed, h is simple, and h(L) has no maximal words
-  /// (Theorem 8.2) — or when the abstract check failed, which by Theorem
-  /// 8.3 refutes the concrete property as well.
+  /// (Theorem 8.2) — or when the abstract check failed AND the system
+  /// cannot diverge on hidden letters, in which case Theorem 8.3 refutes
+  /// the concrete property as well.
   std::optional<bool> concrete_holds;
 
   /// Size bookkeeping for the abstraction-pays-off experiments (E10).

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "rlv/gen/guarded.hpp"
+#include "rlv/petri/scenario.hpp"
 
 namespace rlv {
 
@@ -190,48 +191,7 @@ Homomorphism resource_server_abstraction(AlphabetRef source) {
 }
 
 PetriNet dining_philosophers_net(std::size_t num_philosophers) {
-  PetriNet net;
-  std::vector<PlaceId> fork(num_philosophers);
-  std::vector<PlaceId> thinking(num_philosophers);
-  std::vector<PlaceId> hungry(num_philosophers);
-  std::vector<PlaceId> has_left(num_philosophers);
-  std::vector<PlaceId> eating(num_philosophers);
-  for (std::size_t i = 0; i < num_philosophers; ++i) {
-    const std::string suffix = "_" + std::to_string(i);
-    fork[i] = net.add_place("fork" + suffix, 1);
-    thinking[i] = net.add_place("thinking" + suffix, 1);
-    hungry[i] = net.add_place("hungry" + suffix, 0);
-    has_left[i] = net.add_place("has_left" + suffix, 0);
-    eating[i] = net.add_place("eating" + suffix, 0);
-  }
-  for (std::size_t i = 0; i < num_philosophers; ++i) {
-    const std::string suffix = "_" + std::to_string(i);
-    const std::size_t right_fork = (i + 1) % num_philosophers;
-
-    const TransId get_hungry = net.add_transition("hungry" + suffix);
-    net.add_input(get_hungry, thinking[i]);
-    net.add_output(get_hungry, hungry[i]);
-
-    const TransId take_left = net.add_transition("left" + suffix);
-    net.add_input(take_left, hungry[i]);
-    net.add_input(take_left, fork[i]);
-    net.add_output(take_left, has_left[i]);
-
-    const TransId take_right = net.add_transition("right" + suffix);
-    net.add_input(take_right, has_left[i]);
-    net.add_input(take_right, fork[right_fork]);
-    net.add_output(take_right, eating[i]);
-
-    const TransId eat = net.add_transition("eat" + suffix);
-    net.add_read(eat, eating[i]);
-
-    const TransId done = net.add_transition("done" + suffix);
-    net.add_input(done, eating[i]);
-    net.add_output(done, thinking[i]);
-    net.add_output(done, fork[i]);
-    net.add_output(done, fork[right_fork]);
-  }
-  return net;
+  return petri::philosophers_net(num_philosophers).net;
 }
 
 Nfa peterson_system() {
@@ -552,26 +512,7 @@ Nfa token_ring(std::size_t num_stations) {
 }
 
 PetriNet producer_consumer_net(std::size_t capacity) {
-  PetriNet net;
-  const PlaceId buffer = net.add_place("buffer", 0);
-  const PlaceId space =
-      net.add_place("space", static_cast<std::uint32_t>(capacity));
-  const PlaceId running = net.add_place("running", 1);
-
-  const TransId produce = net.add_transition("produce");
-  net.add_input(produce, space);
-  net.add_output(produce, buffer);
-  net.add_read(produce, running);
-
-  const TransId consume = net.add_transition("consume");
-  net.add_input(consume, buffer);
-  net.add_output(consume, space);
-  net.add_read(consume, running);
-
-  const TransId idle = net.add_transition("idle");
-  net.add_read(idle, running);
-
-  return net;
+  return petri::bounded_buffer_net(capacity).net;
 }
 
 }  // namespace rlv

@@ -119,6 +119,57 @@ Formula random_formula(Rng& rng, const std::vector<std::string>& atoms,
   }
 }
 
+petri::NetFile random_safe_net(Rng& rng, std::size_t max_components,
+                               std::size_t max_places_per) {
+  petri::NetFile file;
+  file.name = "random_safe";
+  PetriNet& net = file.net;
+  const std::size_t comps = 1 + rng.next_below(max_components);
+  std::vector<std::vector<PlaceId>> ring(comps);
+  for (std::size_t c = 0; c < comps; ++c) {
+    const std::size_t len = 2 + rng.next_below(max_places_per - 1);
+    for (std::size_t j = 0; j < len; ++j) {
+      const std::string name =
+          "p" + std::to_string(c) + "_" + std::to_string(j);
+      ring[c].push_back(net.add_place(name, j == 0 ? 1 : 0));
+    }
+  }
+  std::vector<std::string> labels;
+  const auto foreign_place = [&](std::size_t c) {
+    std::size_t other = rng.next_below(comps - 1);
+    if (other >= c) ++other;
+    return ring[other][rng.next_below(ring[other].size())];
+  };
+  for (std::size_t c = 0; c < comps; ++c) {
+    const std::size_t len = ring[c].size();
+    for (std::size_t j = 0; j < len; ++j) {
+      const std::string tag = std::to_string(c) + "_" + std::to_string(j);
+      const TransId step = net.add_transition("s" + tag);
+      net.add_input(step, ring[c][j]);
+      net.add_output(step, ring[c][(j + 1) % len]);
+      labels.push_back("s" + tag);
+      if (comps > 1 && rng.chance(30, 100)) {
+        net.add_read(step, foreign_place(c));
+      }
+      // Occasional chord: jump the token somewhere else in the same ring.
+      if (rng.chance(25, 100)) {
+        const TransId chord = net.add_transition("c" + tag);
+        net.add_input(chord, ring[c][j]);
+        net.add_output(chord, ring[c][rng.next_below(len)]);
+        labels.push_back("c" + tag);
+        if (comps > 1 && rng.chance(30, 100)) {
+          net.add_read(chord, foreign_place(c));
+        }
+      }
+    }
+  }
+  for (const std::string& label : labels) {
+    if (rng.chance(40, 100)) file.hidden.push_back(label);
+  }
+  if (file.hidden.size() == labels.size()) file.hidden.pop_back();
+  return file;
+}
+
 std::pair<Word, Word> random_lasso(Rng& rng, AlphabetRef sigma,
                                    std::size_t max_prefix,
                                    std::size_t max_period) {

@@ -12,6 +12,7 @@
 #include "rlv/lang/nfa.hpp"
 #include "rlv/ltl/ast.hpp"
 #include "rlv/omega/buchi.hpp"
+#include "rlv/petri/format.hpp"
 #include "rlv/util/rng.hpp"
 
 namespace rlv {
@@ -45,6 +46,17 @@ namespace rlv {
 [[nodiscard]] Formula random_formula(Rng& rng,
                                      const std::vector<std::string>& atoms,
                                      std::size_t max_depth);
+
+/// Random 1-safe Petri net: up to `max_components` token-ring state
+/// machines (each transition consumes one place of its ring and marks one,
+/// so every ring carries exactly one token forever — 1-safety is by
+/// construction), cross-coupled through read arcs into foreign rings.
+/// Deadlocks are possible (a read on a place whose ring never marks it) and
+/// intended. The annotation hides a random ~40% of the labels, always
+/// keeping at least one visible.
+[[nodiscard]] petri::NetFile random_safe_net(Rng& rng,
+                                             std::size_t max_components,
+                                             std::size_t max_places_per);
 
 /// Random ultimately periodic word: prefix length in [0, max_prefix],
 /// period length in [1, max_period].

@@ -1,0 +1,175 @@
+#include "rlv/petri/scenario.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rlv::petri {
+
+NetFile philosophers_net(std::size_t num_philosophers) {
+  NetFile file;
+  file.name = "philosophers_" + std::to_string(num_philosophers);
+  PetriNet& net = file.net;
+  std::vector<PlaceId> fork(num_philosophers);
+  std::vector<PlaceId> thinking(num_philosophers);
+  std::vector<PlaceId> hungry(num_philosophers);
+  std::vector<PlaceId> has_left(num_philosophers);
+  std::vector<PlaceId> eating(num_philosophers);
+  for (std::size_t i = 0; i < num_philosophers; ++i) {
+    const std::string suffix = "_" + std::to_string(i);
+    fork[i] = net.add_place("fork" + suffix, 1);
+    thinking[i] = net.add_place("thinking" + suffix, 1);
+    hungry[i] = net.add_place("hungry" + suffix, 0);
+    has_left[i] = net.add_place("has_left" + suffix, 0);
+    eating[i] = net.add_place("eating" + suffix, 0);
+  }
+  for (std::size_t i = 0; i < num_philosophers; ++i) {
+    const std::string suffix = "_" + std::to_string(i);
+    const std::size_t right_fork = (i + 1) % num_philosophers;
+
+    const TransId get_hungry = net.add_transition("hungry" + suffix);
+    net.add_input(get_hungry, thinking[i]);
+    net.add_output(get_hungry, hungry[i]);
+
+    const TransId take_left = net.add_transition("left" + suffix);
+    net.add_input(take_left, hungry[i]);
+    net.add_input(take_left, fork[i]);
+    net.add_output(take_left, has_left[i]);
+
+    const TransId take_right = net.add_transition("right" + suffix);
+    net.add_input(take_right, has_left[i]);
+    net.add_input(take_right, fork[right_fork]);
+    net.add_output(take_right, eating[i]);
+
+    const TransId eat = net.add_transition("eat" + suffix);
+    net.add_read(eat, eating[i]);
+
+    const TransId done = net.add_transition("done" + suffix);
+    net.add_input(done, eating[i]);
+    net.add_output(done, thinking[i]);
+    net.add_output(done, fork[i]);
+    net.add_output(done, fork[right_fork]);
+
+    // The fork-grabbing protocol is plumbing; meals are the interface.
+    file.hidden.push_back("hungry" + suffix);
+    file.hidden.push_back("left" + suffix);
+    file.hidden.push_back("right" + suffix);
+  }
+  return file;
+}
+
+NetFile bounded_buffer_net(std::size_t capacity) {
+  NetFile file;
+  file.name = "bounded_buffer_" + std::to_string(capacity);
+  PetriNet& net = file.net;
+  const PlaceId buffer = net.add_place("buffer", 0);
+  const PlaceId space =
+      net.add_place("space", static_cast<std::uint32_t>(capacity));
+  const PlaceId running = net.add_place("running", 1);
+
+  const TransId produce = net.add_transition("produce");
+  net.add_input(produce, space);
+  net.add_output(produce, buffer);
+  net.add_read(produce, running);
+
+  const TransId consume = net.add_transition("consume");
+  net.add_input(consume, buffer);
+  net.add_output(consume, space);
+  net.add_read(consume, running);
+
+  const TransId idle = net.add_transition("idle");
+  net.add_read(idle, running);
+
+  file.hidden = {"idle"};
+  return file;
+}
+
+NetFile ring_workflow_net(std::size_t num_stations) {
+  NetFile file;
+  file.name = "ring_" + std::to_string(num_stations);
+  PetriNet& net = file.net;
+  std::vector<PlaceId> slot(num_stations);
+  std::vector<PlaceId> busy(num_stations);
+  for (std::size_t i = 0; i < num_stations; ++i) {
+    const std::string suffix = "_" + std::to_string(i);
+    slot[i] = net.add_place("slot" + suffix, i == 0 ? 1 : 0);
+    busy[i] = net.add_place("busy" + suffix, 0);
+  }
+  for (std::size_t i = 0; i < num_stations; ++i) {
+    const std::string suffix = "_" + std::to_string(i);
+    const TransId work = net.add_transition("work" + suffix);
+    net.add_input(work, slot[i]);
+    net.add_output(work, busy[i]);
+
+    const TransId pass = net.add_transition("pass" + suffix);
+    net.add_input(pass, busy[i]);
+    net.add_output(pass, slot[(i + 1) % num_stations]);
+
+    file.hidden.push_back("pass" + suffix);
+  }
+  return file;
+}
+
+NetFile flight_workflow_net() {
+  NetFile file;
+  file.name = "flight";
+  PetriNet& net = file.net;
+  const PlaceId gate = net.add_place("gate", 1);
+  const PlaceId need_fuel = net.add_place("need_fuel", 0);
+  const PlaceId need_cater = net.add_place("need_cater", 0);
+  const PlaceId fueled = net.add_place("fueled", 0);
+  const PlaceId catered = net.add_place("catered", 0);
+  const PlaceId taxiing = net.add_place("taxiing", 0);
+  const PlaceId airborne = net.add_place("airborne", 0);
+  const PlaceId landed = net.add_place("landed", 0);
+
+  const TransId board = net.add_transition("board");
+  net.add_input(board, gate);
+  net.add_output(board, need_fuel);
+  net.add_output(board, need_cater);
+
+  const TransId fuel = net.add_transition("fuel");
+  net.add_input(fuel, need_fuel);
+  net.add_output(fuel, fueled);
+
+  const TransId cater = net.add_transition("cater");
+  net.add_input(cater, need_cater);
+  net.add_output(cater, catered);
+
+  const TransId pushback = net.add_transition("pushback");
+  net.add_input(pushback, fueled);
+  net.add_input(pushback, catered);
+  net.add_output(pushback, taxiing);
+
+  const TransId takeoff = net.add_transition("takeoff");
+  net.add_input(takeoff, taxiing);
+  net.add_output(takeoff, airborne);
+
+  const TransId land = net.add_transition("land");
+  net.add_input(land, airborne);
+  net.add_output(land, landed);
+
+  const TransId turnaround = net.add_transition("turnaround");
+  net.add_input(turnaround, landed);
+  net.add_output(turnaround, gate);
+
+  file.hidden = {"board", "fuel", "cater", "pushback", "turnaround"};
+  return file;
+}
+
+Homomorphism derive_abstraction(const AlphabetRef& sigma,
+                                const std::vector<std::string>& hidden) {
+  std::unordered_set<std::string> hide(hidden.begin(), hidden.end());
+  for (const std::string& h : hidden) {
+    if (!sigma->contains(h)) {
+      throw std::invalid_argument("derive_abstraction: hidden label '" + h +
+                                  "' is not in the alphabet");
+    }
+  }
+  std::vector<std::string> kept;
+  for (Symbol s = 0; s < sigma->size(); ++s) {
+    if (!hide.count(sigma->name(s))) kept.push_back(sigma->name(s));
+  }
+  return Homomorphism::projection(sigma, kept);
+}
+
+}  // namespace rlv::petri

@@ -18,6 +18,8 @@ std::string_view stage_name(Stage stage) {
       return "emptiness";
     case Stage::kComplement:
       return "complement";
+    case Stage::kPetriUnfold:
+      return "petri_unfold";
     case Stage::kOther:
       return "other";
   }

@@ -45,10 +45,11 @@ enum class Stage : std::uint8_t {
   kInclusion,   // NFA inclusion (subset or antichain)
   kEmptiness,   // Büchi emptiness / lasso extraction
   kComplement,  // rank-based Büchi complementation
+  kPetriUnfold, // Petri-net reachability-graph unfolding
   kOther,
 };
 
-inline constexpr std::size_t kNumStages = 8;
+inline constexpr std::size_t kNumStages = 9;
 
 [[nodiscard]] std::string_view stage_name(Stage stage);
 

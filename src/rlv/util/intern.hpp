@@ -110,6 +110,15 @@ class BitsetInterner {
     return storage_.data() + static_cast<std::size_t>(id) * words_per_;
   }
 
+  /// Looks up the set held in `w` without inserting. Returns the id, or
+  /// IdTable::kNoId when the set has never been interned.
+  [[nodiscard]] std::uint32_t find(const std::uint64_t* w) const {
+    const std::size_t h = hash_words(w, words_per_);
+    return table_.find(h, [&](std::uint32_t id) {
+      return equal_words(words(id), w);
+    });
+  }
+
   /// Interns the set held in `w` (words_per() words). Returns (id, fresh).
   std::pair<std::uint32_t, bool> intern(const std::uint64_t* w) {
     const std::size_t h = hash_words(w, words_per_);

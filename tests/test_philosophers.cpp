@@ -34,7 +34,7 @@ TEST(Philosophers, DeadlockIsReachable) {
     EXPECT_TRUE(graph.complete);
     ASSERT_FALSE(graph.deadlocks.empty()) << "n=" << n;
     // The deadlock marking: every philosopher holds the left fork.
-    const Marking& dead = graph.markings[graph.deadlocks.front()];
+    const Marking dead = graph.marking(graph.deadlocks.front());
     const PetriNet net = dining_philosophers_net(n);
     for (PlaceId p = 0; p < net.num_places(); ++p) {
       if (net.place_name(p).starts_with("has_left")) {

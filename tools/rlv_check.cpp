@@ -2,10 +2,22 @@
 //
 // Usage:
 //   rlv_check <system-file> --ltl "<formula>" [options]
+//   rlv_check --petri-file <net.pn> --ltl "<formula>" [options]
 //
 // The system file uses the format of rlv/io/format.hpp and is interpreted
 // as a transition system (prefix-closed behavior language; its ω-behaviors
-// are the limit). Modes:
+// are the limit). With --petri-file the system is instead the budget-
+// governed unfolding of a textual Petri net (rlv/petri/format.hpp):
+//
+//   --petri-file <f>       unfold the net's reachability graph and use it
+//                          as the system (alphabet = transition labels)
+//   --petri-max-states N   unfolding state cap (ResourceExhausted → exit 3)
+//   --petri-timeout-ms N   unfolding wall-clock deadline (idem)
+//   --net-hom              derive the abstraction homomorphism from the
+//                          net's `hide:` annotation and run the Sections
+//                          6-8 pipeline (like --hom, no extra file needed)
+//
+// Modes:
 //
 //   --check rl          relative liveness (default)
 //   --check rs          relative safety
@@ -46,6 +58,7 @@
 // (abstraction pipeline, non-simple).
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <optional>
 #include <cstdlib>
@@ -58,6 +71,7 @@
 #include "rlv/core/preservation.hpp"
 #include "rlv/core/relative.hpp"
 #include "rlv/fair/fair_check.hpp"
+#include "rlv/hom/image.hpp"
 #include "rlv/io/format.hpp"
 #include "rlv/lang/ops.hpp"
 #include "rlv/ltl/parser.hpp"
@@ -65,6 +79,10 @@
 #include "rlv/ltl/translate.hpp"
 #include "rlv/omega/lasso.hpp"
 #include "rlv/omega/limit.hpp"
+#include "rlv/petri/format.hpp"
+#include "rlv/petri/reachability.hpp"
+#include "rlv/petri/scenario.hpp"
+#include "rlv/util/budget.hpp"
 
 namespace {
 
@@ -73,13 +91,20 @@ using namespace rlv;
 int usage() {
   std::fprintf(stderr,
                "usage: rlv_check <system-file> --ltl \"<formula>\"\n"
+               "       rlv_check --petri-file <net.pn> --ltl \"<formula>\"\n"
                "       [--check rl|rs|sat|fair|fairweak|synth|doom|monitor]\n"
                "       [--trace \"<a b c>\"] [--trace-file <file>] [--hom <file>]\n"
                "       [--property-aut <file>] [--explain] [--threads N]\n"
                "       [--certify] [--dot]\n"
+               "       [--net-hom] [--petri-max-states N] [--petri-timeout-ms N]\n"
                "  --explain annotates rl doomed prefixes and rs/sat lassos\n"
                "  --certify re-checks negative rl/rs/sat witnesses with the\n"
-               "            independent certificate checker (INVALID exits 2)\n");
+               "            independent certificate checker (INVALID exits 2)\n"
+               "  --petri-file unfolds a 1-safe net (rlv/petri/format.hpp) into\n"
+               "            its reachability graph and checks that system;\n"
+               "            --net-hom derives the abstraction from its hide\n"
+               "            annotation, the budget flags bound the unfolding\n"
+               "            (trip -> 'resource_exhausted', exit 3)\n");
   return 2;
 }
 
@@ -108,7 +133,8 @@ void print_lasso(const char* label, const Lasso& lasso,
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::string system_path = argv[1];
+  std::string system_path;
+  std::string petri_path;
   std::string formula_text;
   std::string mode = "rl";
   std::string hom_path;
@@ -118,9 +144,17 @@ int main(int argc, char** argv) {
   bool dot = false;
   bool explain = false;
   bool certify = false;
+  bool net_hom = false;
+  long petri_max_states = 0;
+  long petri_timeout_ms = 0;
   std::size_t threads = 1;
 
-  for (int i = 2; i < argc; ++i) {
+  int first_flag = 1;
+  if (argv[1][0] != '-') {
+    system_path = argv[1];
+    first_flag = 2;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--ltl" && i + 1 < argc) {
       formula_text = argv[++i];
@@ -144,13 +178,49 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(n);
     } else if (arg == "--dot") {
       dot = true;
+    } else if (arg == "--petri-file" && i + 1 < argc) {
+      petri_path = argv[++i];
+    } else if (arg == "--net-hom") {
+      net_hom = true;
+    } else if (arg == "--petri-max-states" && i + 1 < argc) {
+      petri_max_states = std::atol(argv[++i]);
+      if (petri_max_states <= 0) return usage();
+    } else if (arg == "--petri-timeout-ms" && i + 1 < argc) {
+      petri_timeout_ms = std::atol(argv[++i]);
+      if (petri_timeout_ms <= 0) return usage();
     } else {
       return usage();
     }
   }
+  // Exactly one system source: a transition-system file or a Petri net.
+  if (system_path.empty() == petri_path.empty()) return usage();
+  if (net_hom && petri_path.empty()) return usage();
 
   try {
-    const Nfa system = parse_system(read_file(system_path));
+    petri::NetFile netfile;
+    const Nfa system = [&]() -> Nfa {
+      if (petri_path.empty()) return parse_system(read_file(system_path));
+      netfile = petri::parse_net(read_file(petri_path));
+      Budget unfold_budget;
+      const bool governed = petri_max_states > 0 || petri_timeout_ms > 0;
+      if (petri_max_states > 0) {
+        unfold_budget.set_max_states(
+            static_cast<std::uint64_t>(petri_max_states));
+      }
+      if (petri_timeout_ms > 0) {
+        unfold_budget.set_deadline_in(
+            std::chrono::milliseconds(petri_timeout_ms));
+      }
+      ReachabilityGraph graph = build_reachability_graph(
+          netfile.net, {}, governed ? &unfold_budget : nullptr);
+      std::printf("petri unfold: net '%s', %zu places -> %zu states, "
+                  "%zu deadlocks%s%s\n",
+                  netfile.name.c_str(), graph.num_places,
+                  graph.system.num_states(), graph.deadlocks.size(),
+                  graph.one_safe ? "" : " (not 1-safe)",
+                  graph.complete ? "" : " (truncated)");
+      return std::move(graph.system);
+    }();
     if (dot) {
       std::fputs(to_dot(system).c_str(), stdout);
       return 0;
@@ -230,17 +300,38 @@ int main(int argc, char** argv) {
     if (formula_text.empty()) return usage();
     const Formula formula = parse_ltl(formula_text);
 
-    if (!hom_path.empty()) {
+    if (!hom_path.empty() || net_hom) {
+      if (net_hom && netfile.hidden.empty()) {
+        std::fprintf(stderr,
+                     "error: --net-hom needs a net with a hide annotation\n");
+        return 2;
+      }
+      // Theorems 8.2/8.3 need h(L) free of maximal words; a deadlocked
+      // unfolding violates that, so #-extend it before the pipeline (the
+      // hidden labels and formula atoms are unaffected by the pad letter).
+      Nfa pipeline_system = system;
+      if (net_hom && has_maximal_words(system)) {
+        pipeline_system = extend_maximal_words(system);
+        std::printf("deadlocks #-extended for the abstraction pipeline\n");
+      }
       const Homomorphism h =
-          parse_homomorphism(read_file(hom_path), system.alphabet());
+          net_hom ? petri::derive_abstraction(pipeline_system.alphabet(),
+                                              netfile.hidden)
+                  : parse_homomorphism(read_file(hom_path),
+                                       pipeline_system.alphabet());
       const AbstractionVerdict verdict =
-          verify_via_abstraction(system, h, to_pnf(formula));
+          verify_via_abstraction(pipeline_system, h, to_pnf(formula));
       std::printf("abstract states: %zu (concrete: %zu)\n",
                   verdict.abstract_states, verdict.concrete_states);
       std::printf("abstract relative liveness: %s\n",
                   verdict.abstract_holds ? "holds" : "fails");
       std::printf("homomorphism simple: %s\n",
-                  verdict.simplicity.simple ? "yes" : "no");
+                  !verdict.simplicity_checked
+                      ? "not decided (abstract check failed; Theorem 8.3 "
+                        "needs no simplicity)"
+                      : verdict.simplicity.simple ? "yes" : "no");
+      std::printf("hidden divergence: %s\n",
+                  verdict.hidden_divergence ? "yes" : "no");
       if (verdict.image_has_maximal_words) {
         std::printf("warning: h(L) has maximal words; Theorems 8.2/8.3 side "
                     "condition violated\n");
@@ -250,7 +341,12 @@ int main(int argc, char** argv) {
                     *verdict.concrete_holds ? "HOLDS" : "FAILS");
         return *verdict.concrete_holds ? 0 : 1;
       }
-      std::printf("conclusion: none (certification failed)\n");
+      if (!verdict.abstract_holds && verdict.hidden_divergence) {
+        std::printf("conclusion: none (abstract failure, but the system can "
+                    "diverge on hidden letters)\n");
+      } else {
+        std::printf("conclusion: none (certification failed)\n");
+      }
       return 3;
     }
 
@@ -471,6 +567,15 @@ int main(int argc, char** argv) {
       return 0;
     }
     return usage();
+  } catch (const ResourceExhausted& e) {
+    // Distinct, machine-checkable outcome: the budget tripped, the answer
+    // is "don't know", never a wrong boolean.
+    std::printf("resource_exhausted in stage %s (%s)\n",
+                std::string(stage_name(e.stage())).c_str(),
+                e.kind() == ResourceExhausted::Kind::kDeadline
+                    ? "deadline"
+                    : "state cap");
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -27,6 +27,12 @@
 // and double-close behavior — wire-protocol verification riding along
 // with the measurement.
 //
+// With --petri, the query workload is rebuilt from the rlv::petri scenario
+// nets: each system is the serialized reachability-graph unfolding of a
+// classic 1-safe net (Figure 1 resource server, bounded buffer, token-ring
+// workflow, dining philosophers) — larger and deadlock-bearing, exercising
+// the engine with Petri-shaped state spaces.
+//
 // Exit status: 0 = every response was a well-formed verdict (overload
 // rejections and resource_exhausted are counted, not errors), 1 = at
 // least one error/protocol failure, 2 = bad invocation or connect
@@ -47,6 +53,8 @@
 #include "rlv/monitor/automaton.hpp"
 #include "rlv/net/client.hpp"
 #include "rlv/omega/limit.hpp"
+#include "rlv/petri/reachability.hpp"
+#include "rlv/petri/scenario.hpp"
 
 namespace {
 
@@ -56,7 +64,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: rlv_loadgen --port P [--host H] [--connections N]"
                " [--requests M] [--sweep-connections N1,N2,...]"
-               " [--certify] [--stats]\n"
+               " [--certify] [--stats] [--petri]\n"
                "       rlv_loadgen --port P --monitor [--sessions K]"
                " [--events M] [--batch B] [--stats]\n");
   return 2;
@@ -98,6 +106,48 @@ std::vector<WorkItem> build_workload(bool certify) {
   add(ring5, "G F pass_0", CheckKind::kRelativeLiveness, "ring5");
   add(ring5, "G F pass_0", CheckKind::kSatisfaction, "ring5");
   add(fig2, "F G result", CheckKind::kRelativeSafety, "fig2");
+  return items;
+}
+
+/// The --petri workload: the systems are reachability-graph unfoldings of
+/// the rlv::petri scenario nets instead of the hand-drawn figures — larger,
+/// deadlock-bearing state spaces (philosophers(3) can wedge) with the same
+/// few-systems/many-properties shape, so the engine's system cache is
+/// stressed with Petri-sized inputs. Unfolding happens client-side; the
+/// server sees ordinary serialized transition systems.
+std::vector<WorkItem> build_petri_workload(bool certify) {
+  const auto unfold = [](const PetriNet& net) {
+    return serialize_system(build_reachability_graph(net).system);
+  };
+  const std::string fig1 = unfold(figure1_net());
+  const std::string buffer4 = unfold(petri::bounded_buffer_net(4).net);
+  const std::string ring4 = unfold(petri::ring_workflow_net(4).net);
+  const std::string phil3 = unfold(petri::philosophers_net(3).net);
+
+  std::vector<WorkItem> items;
+  const auto add = [&](const std::string& system, const char* formula,
+                       CheckKind kind, const char* label) {
+    Query query;
+    query.system = system;
+    query.formula = formula;
+    query.kind = kind;
+    query.certify = certify;
+    items.push_back({std::move(query), label});
+  };
+  add(fig1, "G F result", CheckKind::kRelativeLiveness, "fig1");
+  add(fig1, "G F result", CheckKind::kRelativeSafety, "fig1");
+  add(fig1, "G(request -> F (result | reject))", CheckKind::kRelativeLiveness,
+      "fig1");
+  add(fig1, "G(result -> !(X result))", CheckKind::kSatisfaction, "fig1");
+  add(buffer4, "G F produce", CheckKind::kRelativeLiveness, "buffer4");
+  add(buffer4, "G(produce -> F consume)", CheckKind::kRelativeLiveness,
+      "buffer4");
+  add(buffer4, "G F consume", CheckKind::kSatisfaction, "buffer4");
+  add(ring4, "G F work_0", CheckKind::kRelativeLiveness, "ring4");
+  add(ring4, "G F pass_0", CheckKind::kRelativeLiveness, "ring4");
+  add(phil3, "G F eat_0", CheckKind::kRelativeLiveness, "phil3");
+  add(phil3, "F eat_0", CheckKind::kRelativeSafety, "phil3");
+  add(phil3, "G F eat_0", CheckKind::kSatisfaction, "phil3");
   return items;
 }
 
@@ -422,6 +472,7 @@ int main(int argc, char** argv) {
   bool certify = false;
   bool want_stats = false;
   bool monitor_mode = false;
+  bool petri_mode = false;
   std::size_t sessions = 64;
   std::size_t events = 512;
   std::size_t batch = 32;
@@ -442,6 +493,8 @@ int main(int argc, char** argv) {
       if (sweep.empty()) return usage();
     } else if (arg == "--monitor") {
       monitor_mode = true;
+    } else if (arg == "--petri") {
+      petri_mode = true;
     } else if (arg == "--sessions" && i + 1 < argc) {
       sessions = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--events" && i + 1 < argc) {
@@ -477,7 +530,8 @@ int main(int argc, char** argv) {
     return run_monitor_mode(host, port, sessions, events, batch, want_stats);
   }
 
-  const std::vector<WorkItem> workload = build_workload(certify);
+  const std::vector<WorkItem> workload =
+      petri_mode ? build_petri_workload(certify) : build_workload(certify);
 
   std::uint64_t errors = 0;
   if (sweep.empty()) {
